@@ -1,0 +1,88 @@
+// Command nocstar-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nocstar-exp -list
+//	nocstar-exp fig12 fig13
+//	nocstar-exp -instr 250000 -cores 16,32 fig14
+//	nocstar-exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nocstar/internal/experiments"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available experiments")
+		instr     = flag.Uint64("instr", experiments.DefaultOptions().Instr, "instructions per thread")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		workloads = flag.String("workloads", "", "comma-separated workload filter")
+		combos    = flag.Int("combos", 0, "limit Fig. 18 combinations (0 = all 330)")
+		cores     = flag.String("cores", "", "comma-separated core counts for scaling experiments")
+		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV data series")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: nocstar-exp [-list] [flags] <experiment-id>... | all")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	opts := experiments.Options{Instr: *instr, Seed: *seed, Combos: *combos}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if *cores != "" {
+		for _, c := range strings.Split(*cores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -cores value %q: %v\n", c, err)
+				os.Exit(2)
+			}
+			opts.CoreCounts = append(opts.CoreCounts, n)
+		}
+	}
+
+	for _, id := range ids {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := e.Run(opts)
+		fmt.Print(res.Render())
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if c, ok := res.(experiments.CSVer); ok {
+				path := fmt.Sprintf("%s/%s.csv", *csvDir, e.ID)
+				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("[wrote %s]\n\n", path)
+			}
+		}
+	}
+}

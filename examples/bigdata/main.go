@@ -1,0 +1,57 @@
+// Bigdata: the paper's motivating scenario — memory-intensive analytics
+// (graph500, xsbench, gups) with transparent superpages on a large chip.
+// Sweeps the last-level TLB organizations and shows where each stands.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocstar"
+)
+
+func main() {
+	const cores = 32
+	orgs := []struct {
+		name string
+		org  nocstar.Org
+	}{
+		{"monolithic shared", nocstar.MonolithicMesh},
+		{"distributed mesh", nocstar.DistributedMesh},
+		{"NOCSTAR", nocstar.Nocstar},
+		{"ideal (zero net)", nocstar.IdealShared},
+	}
+
+	for _, name := range []string{"graph500", "xsbench", "gups"} {
+		spec, ok := nocstar.WorkloadByName(name)
+		if !ok {
+			log.Fatalf("missing workload %s", name)
+		}
+		mk := func(org nocstar.Org) nocstar.Config {
+			return nocstar.Config{
+				Org:            org,
+				Cores:          cores,
+				THP:            true, // Linux transparent 2MB superpages
+				Apps:           []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+				InstrPerThread: 120_000,
+				Seed:           7,
+			}
+		}
+		baseline, err := nocstar.Run(mk(nocstar.Private))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%d cores, THP): private = %d cycles, %.1f%% of walks hit LLC/memory\n",
+			name, cores, baseline.Cycles, 100*baseline.PTW.LeafLLCOrMemFraction())
+		for _, o := range orgs {
+			r, err := nocstar.Run(mk(o.org))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s speedup %.3fx  (L2 access %.1f cycles, misses eliminated %.0f%%)\n",
+				o.name, r.SpeedupOver(baseline), r.AvgL2AccessCycles,
+				100*r.MissesEliminatedVs(baseline))
+		}
+		fmt.Println()
+	}
+}

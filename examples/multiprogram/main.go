@@ -1,0 +1,60 @@
+// Multiprogram: server consolidation — four different applications share
+// one 32-core chip. Shared last-level TLBs donate unused capacity from
+// light applications to heavy ones; this example measures aggregate
+// throughput and whether any tenant is hurt (the paper's Fig. 18 axes).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocstar"
+)
+
+func main() {
+	const cores = 32
+	names := []string{"redis", "mongodb", "nutch", "gups"}
+	var apps []nocstar.App
+	for _, n := range names {
+		spec, ok := nocstar.WorkloadByName(n)
+		if !ok {
+			log.Fatalf("missing workload %s", n)
+		}
+		apps = append(apps, nocstar.App{Spec: spec, Threads: 8, HammerSlice: -1})
+	}
+	mk := func(org nocstar.Org) nocstar.Config {
+		return nocstar.Config{
+			Org:            org,
+			Cores:          cores,
+			Apps:           apps,
+			InstrPerThread: 100_000,
+			Seed:           11,
+		}
+	}
+
+	baseline, err := nocstar.Run(mk(nocstar.Private))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4-app mix on %d cores: %v\n\n", cores, names)
+	for _, o := range []struct {
+		name string
+		org  nocstar.Org
+	}{
+		{"monolithic", nocstar.MonolithicMesh},
+		{"distributed", nocstar.DistributedMesh},
+		{"NOCSTAR", nocstar.Nocstar},
+	} {
+		r, err := nocstar.Run(mk(o.org))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s overall throughput %.3fx, worst tenant %.3fx\n",
+			o.name, r.ThroughputSpeedupOver(baseline), r.WorstAppSpeedupOver(baseline))
+		for i, a := range r.Apps {
+			fmt.Printf("             %-9s IPC %.3f -> %.3f (%.3fx)\n",
+				a.Name, baseline.Apps[i].IPC, a.IPC, a.IPC/baseline.Apps[i].IPC)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,37 @@
+// Noctraffic: drive the circuit-switched TLB interconnect with synthetic
+// traffic and inspect how path-setup contention builds with injection
+// rate, then print the interconnect design space the fabric was chosen
+// from (Table I / Fig. 11c of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocstar"
+)
+
+func main() {
+	opts := nocstar.DefaultExperimentOptions()
+	opts.Instr = 100_000 // ~20k cycles of traffic per point
+
+	out, err := nocstar.RunExperiment("fig11c", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+	fmt.Println()
+
+	out, err = nocstar.RunExperiment("tab1", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+	fmt.Println()
+
+	out, err = nocstar.RunExperiment("fig11a", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,47 @@
+// Quickstart: compare a private L2 TLB baseline against NOCSTAR on one of
+// the paper's workloads and print the headline numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocstar"
+)
+
+func main() {
+	spec, ok := nocstar.WorkloadByName("canneal")
+	if !ok {
+		log.Fatal("workload suite missing canneal")
+	}
+
+	const cores = 16
+	mk := func(org nocstar.Org) nocstar.Config {
+		return nocstar.Config{
+			Org:            org,
+			Cores:          cores,
+			Apps:           []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+			InstrPerThread: 150_000,
+			Seed:           1,
+		}
+	}
+
+	baseline, err := nocstar.Run(mk(nocstar.Private))
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := nocstar.Run(mk(nocstar.Nocstar))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s on %d cores\n", spec.Name, cores)
+	fmt.Printf("private L2 TLBs:  %d cycles, L2 miss rate %.1f%%\n",
+		baseline.Cycles, 100*baseline.L2MissRate())
+	fmt.Printf("NOCSTAR:          %d cycles, L2 miss rate %.1f%%\n",
+		result.Cycles, 100*result.L2MissRate())
+	fmt.Printf("speedup:          %.2fx\n", result.SpeedupOver(baseline))
+	fmt.Printf("misses eliminated: %.1f%%\n", 100*result.MissesEliminatedVs(baseline))
+	fmt.Printf("avg path setup:   %.2f cycles (%.1f%% contention-free)\n",
+		result.Noc.AvgSetupCycles(), 100*result.Noc.NoContentionFraction())
+}

@@ -1,0 +1,73 @@
+// Shootdown: tune the TLB invalidation leader count for a workload with
+// heavy page remapping. Every shootdown must invalidate the stale
+// translation in the shared slices; this example compares direct sends
+// (every core relays its own invalidation) against leader batching
+// (Section III-G / Fig. 16 right), and finishes with a full TLB storm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocstar"
+)
+
+func main() {
+	const cores = 32
+	spec, ok := nocstar.WorkloadByName("mongodb")
+	if !ok {
+		log.Fatal("missing workload")
+	}
+	mk := func(leaders int, storm *nocstar.StormConfig) nocstar.Config {
+		return nocstar.Config{
+			Org:               nocstar.Nocstar,
+			Cores:             cores,
+			Apps:              []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+			InstrPerThread:    120_000,
+			ShootdownInterval: 2_000, // a remap every 1us at 2GHz: remap-heavy
+			InvLeaders:        leaders,
+			Storm:             storm,
+			Seed:              5,
+		}
+	}
+
+	fmt.Printf("%s on %d cores with a page remap every 2000 cycles:\n\n", spec.Name, cores)
+	var base nocstar.Result
+	for _, c := range []struct {
+		label   string
+		leaders int
+	}{
+		{"direct (per-core sends)", 0},
+		{"1 leader per 8 cores", cores / 8},
+		{"1 leader per 4 cores", cores / 4},
+		{"single leader", 1},
+	} {
+		r, err := nocstar.Run(mk(c.leaders, nil))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c.leaders == 0 {
+			base = r
+		}
+		fmt.Printf("  %-26s %d cycles (%.3fx vs direct), %d invalidation msgs\n",
+			c.label, r.Cycles, float64(base.Cycles)/float64(r.Cycles), r.Shootdowns)
+	}
+
+	fmt.Println("\nnow under the full TLB storm microbenchmark:")
+	storm := &nocstar.StormConfig{
+		ContextSwitchInterval: 40_000,
+		PromoteDemoteInterval: 8_000,
+		Pages:                 4096,
+	}
+	quiet, err := nocstar.Run(mk(cores/8, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stormy, err := nocstar.Run(mk(cores/8, storm))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  without storm: %d cycles\n", quiet.Cycles)
+	fmt.Printf("  with storm:    %d cycles (%.1f%% slower, %d invalidations)\n",
+		stormy.Cycles, 100*(float64(stormy.Cycles)/float64(quiet.Cycles)-1), stormy.Shootdowns)
+}

@@ -1,0 +1,3 @@
+module nocstar
+
+go 1.22

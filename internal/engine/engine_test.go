@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(5, func() { got = append(got, 5) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %d, want 5", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-cycle order not FIFO: %v", got)
+		}
+	}
+}
+
+func TestZeroDelayRunsThisCycle(t *testing.T) {
+	e := New()
+	var order []string
+	e.Schedule(2, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() { order = append(order, "b") })
+	})
+	e.Schedule(3, func() { order = append(order, "c") })
+	e.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEndOfCycleAfterEvents(t *testing.T) {
+	e := New()
+	var order []string
+	e.Schedule(4, func() {
+		e.AtEndOfCycle(func() { order = append(order, "final") })
+		e.Schedule(0, func() { order = append(order, "late-event") })
+		order = append(order, "event")
+	})
+	e.Run()
+	want := []string{"event", "late-event", "final"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFinalizerCanScheduleNextCycle(t *testing.T) {
+	e := New()
+	hits := 0
+	var tick func()
+	tick = func() {
+		e.AtEndOfCycle(func() {
+			hits++
+			if hits < 5 {
+				e.Schedule(1, tick)
+			}
+		})
+	}
+	e.Schedule(1, tick)
+	e.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %d, want 5", e.Now())
+	}
+}
+
+func TestFinalizerSameCycleEventLoop(t *testing.T) {
+	// A finalizer schedules a zero-delay event which registers another
+	// finalizer; the engine must keep alternating phases within the cycle.
+	e := New()
+	var order []string
+	e.Schedule(1, func() {
+		order = append(order, "ev1")
+		e.AtEndOfCycle(func() {
+			order = append(order, "fin1")
+			e.Schedule(0, func() {
+				order = append(order, "ev2")
+				e.AtEndOfCycle(func() { order = append(order, "fin2") })
+			})
+		})
+	})
+	e.Run()
+	want := []string{"ev1", "fin1", "ev2", "fin2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %d, want 1 (all work in one cycle)", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := make(map[Cycle]bool)
+	for _, c := range []Cycle{1, 5, 10, 20} {
+		c := c
+		e.At(c, func() { ran[c] = true })
+	}
+	e.RunUntil(10)
+	if !ran[1] || !ran[5] || !ran[10] {
+		t.Fatalf("events within limit not run: %v", ran)
+	}
+	if ran[20] {
+		t.Fatal("event beyond limit ran")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if !ran[20] {
+		t.Fatal("remaining event not run by Run")
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(3, func() {})
+	})
+	e.Run()
+}
+
+func TestProcessedCounts(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Cycle(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", e.Processed())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Cycle {
+		e := New()
+		r := NewRand(42)
+		var trace []Cycle
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth == 0 {
+				return
+			}
+			e.Schedule(Cycle(1+r.Intn(10)), func() { spawn(depth - 1) })
+			e.Schedule(Cycle(1+r.Intn(10)), func() { spawn(depth - 1) })
+		}
+		e.Schedule(0, func() { spawn(6) })
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(7)
+	const n = 100000
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/50 || b > n/10+n/50 {
+			t.Fatalf("bucket %d = %d, too far from uniform", i, b)
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	a := NewRand(99)
+	b := a.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d collisions", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events always execute in non-decreasing cycle order, whatever
+// the scheduling pattern.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := New()
+		var seen []Cycle
+		for _, d := range delays {
+			e.Schedule(Cycle(d), func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nocstar/internal/stats"
+	"nocstar/internal/system"
+	"nocstar/internal/workload"
+)
+
+// This file holds ablations of NOCSTAR design choices beyond the paper's
+// own figures: the maximum-hops-per-cycle pipelining bound (Section
+// III-B3), the speculative response-path setup of the Fig. 10 timeline,
+// and the QoS slice partitioning the paper leaves to future work.
+
+// ---------------------------------------------------------------------
+// HPCmax ablation: how much of NOCSTAR's win survives as technology
+// forces pipeline latches onto the single-cycle datapath?
+
+// HPCResult holds per-HPCmax average speedups at 64 cores.
+type HPCResult struct {
+	HPC     []int // 0 means unbounded (whole chip per cycle)
+	Speedup []float64
+}
+
+// AblationHPC sweeps HPCmax on the 64-core system.
+func AblationHPC(o Options) HPCResult {
+	res := HPCResult{HPC: []int{2, 4, 8, 16, 0}}
+	const cores = 64
+	for _, hpc := range res.HPC {
+		var vs []float64
+		for _, spec := range o.suite() {
+			priv := o.privateBaseline(spec, cores, false)
+			cfg := o.baseConfig(system.Nocstar, spec, cores, false)
+			cfg.L2EntriesPerCore = 0
+			cfg.HPCmax = hpc
+			if hpc == 0 {
+				cfg.HPCmax = 1 << 20 // effectively unbounded
+			}
+			vs = append(vs, run(cfg).SpeedupOver(priv))
+		}
+		res.Speedup = append(res.Speedup, stats.Mean64(vs))
+	}
+	return res
+}
+
+// Render prints the sweep.
+func (r HPCResult) Render() string {
+	t := stats.NewTable("Ablation: NOCSTAR speedup vs HPCmax (64 cores)")
+	t.Row("HPCmax", "avg speedup")
+	for i, h := range r.HPC {
+		label := fmt.Sprintf("%d", h)
+		if h == 0 {
+			label = "unbounded"
+		}
+		t.Row(label, fmt.Sprintf("%.3f", r.Speedup[i]))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------
+// Speculative response-path setup ablation (Fig. 10: "The response path
+// can be setup speculatively, during the L2 TLB lookup").
+
+// SpeculationResult compares speculative vs demand response setup.
+type SpeculationResult struct {
+	Speculative float64
+	Demand      float64
+}
+
+// AblationSpeculation measures both modes at 32 cores.
+func AblationSpeculation(o Options) SpeculationResult {
+	const cores = 32
+	var spec, demand []float64
+	for _, w := range o.suite() {
+		priv := o.privateBaseline(w, cores, false)
+		cfg := o.baseConfig(system.Nocstar, w, cores, false)
+		cfg.L2EntriesPerCore = 0
+		spec = append(spec, run(cfg).SpeedupOver(priv))
+		cfg2 := o.baseConfig(system.Nocstar, w, cores, false)
+		cfg2.L2EntriesPerCore = 0
+		cfg2.NoSpeculativeResponse = true
+		demand = append(demand, run(cfg2).SpeedupOver(priv))
+	}
+	return SpeculationResult{
+		Speculative: stats.Mean64(spec),
+		Demand:      stats.Mean64(demand),
+	}
+}
+
+// Render prints both modes.
+func (r SpeculationResult) Render() string {
+	t := stats.NewTable("Ablation: speculative response path setup (32 cores)")
+	t.Row("response setup", "avg speedup")
+	t.Row("speculative (Fig. 10)", fmt.Sprintf("%.3f", r.Speculative))
+	t.Row("demand (after lookup)", fmt.Sprintf("%.3f", r.Demand))
+	return t.String()
+}
+
+// ---------------------------------------------------------------------
+// QoS slice partitioning (the paper's future work): an aggressive tenant
+// (gups) shares the chip with a victim (olio); way quotas protect the
+// victim's slice occupancy.
+
+// QoSResult compares victim and aggressor speedups with and without
+// per-context way quotas.
+type QoSResult struct {
+	// Victim/Aggressor speedups vs the private-TLB baseline of the same
+	// mix, without and with the quota.
+	VictimFree, VictimQoS         float64
+	AggressorFree, AggressorQoS   float64
+	ThroughputFree, ThroughputQoS float64
+}
+
+// AblationQoS runs the 2-tenant interference scenario on 16 cores. At
+// the paper's slice sizes cross-tenant capacity interference is minimal
+// (consistent with Fig. 18's mild degradations), so the ablation uses
+// capacity-pressured 256-entry slices, where an unregulated aggressor
+// does crowd the victim out and quotas have something to protect.
+func AblationQoS(o Options) QoSResult {
+	const cores = 16
+	victim, _ := workload.ByName("olio")
+	aggressor, _ := workload.ByName("gups")
+	mk := func(org system.Org, quota int) system.Config {
+		return system.Config{
+			Org:   org,
+			Cores: cores,
+			Apps: []system.App{
+				{Spec: victim, Threads: cores / 4, HammerSlice: -1},
+				{Spec: aggressor, Threads: 3 * cores / 4, HammerSlice: -1},
+			},
+			L2EntriesPerCore: 256,
+			QoSMaxCtxWays:    quota,
+			InstrPerThread:   o.Instr,
+			Seed:             o.Seed,
+		}
+	}
+	priv := run(mk(system.Private, 0))
+	free := run(mk(system.Nocstar, 0))
+	qos := run(mk(system.Nocstar, 5)) // 5 of 8 ways per tenant
+
+	ratio := func(r system.Result, i int) float64 {
+		return r.Apps[i].IPC / priv.Apps[i].IPC
+	}
+	return QoSResult{
+		VictimFree:     ratio(free, 0),
+		VictimQoS:      ratio(qos, 0),
+		AggressorFree:  ratio(free, 1),
+		AggressorQoS:   ratio(qos, 1),
+		ThroughputFree: free.ThroughputSpeedupOver(priv),
+		ThroughputQoS:  qos.ThroughputSpeedupOver(priv),
+	}
+}
+
+// Render prints the interference comparison.
+func (r QoSResult) Render() string {
+	t := stats.NewTable("Ablation: QoS slice partitioning (olio victim + gups aggressor, 16 cores)")
+	t.Row("metric", "no quota", "5/8-way quota")
+	t.Row("victim speedup", fmt.Sprintf("%.3f", r.VictimFree), fmt.Sprintf("%.3f", r.VictimQoS))
+	t.Row("aggressor speedup", fmt.Sprintf("%.3f", r.AggressorFree), fmt.Sprintf("%.3f", r.AggressorQoS))
+	t.Row("overall throughput", fmt.Sprintf("%.3f", r.ThroughputFree), fmt.Sprintf("%.3f", r.ThroughputQoS))
+	return t.String()
+}

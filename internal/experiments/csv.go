@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSVer is implemented by experiment results that can emit their full
+// data series as CSV, for plotting the figures rather than reading the
+// rendered tables. cmd/nocstar-exp writes these with its -csv flag.
+type CSVer interface {
+	CSV() string
+}
+
+// csvRow joins cells, quoting nothing (all cells are numeric or simple
+// identifiers).
+func csvRow(cells ...string) string { return strings.Join(cells, ",") + "\n" }
+
+func f3(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// CSV emits workload,config,speedup triples.
+func (g SpeedupGrid) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow("workload", "config", "speedup"))
+	for _, w := range g.Workloads {
+		for _, c := range g.Configs {
+			b.WriteString(csvRow(w, c, f3(g.Speedup[w][c])))
+		}
+	}
+	return b.String()
+}
+
+// CSV emits workload,cores,percent_eliminated triples.
+func (r Fig2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow("workload", "cores", "percent_eliminated"))
+	for _, w := range r.Workloads {
+		for _, c := range r.Cores {
+			b.WriteString(csvRow(w, fmt.Sprint(c), f3(r.Eliminated[w][c])))
+		}
+	}
+	return b.String()
+}
+
+// CSV emits the per-bucket fractions per workload.
+func (r Fig5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow(append([]string{"workload"}, r.Buckets...)...))
+	for _, w := range r.Workloads {
+		cells := []string{w}
+		for _, f := range r.Fractions[w] {
+			cells = append(cells, f3(f))
+		}
+		b.WriteString(csvRow(cells...))
+	}
+	return b.String()
+}
+
+// CSV emits the injection sweep series.
+func (r Fig11cResult) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow("injection_rate", "nocstar_latency", "percent_no_contention", "mesh_latency"))
+	for i := range r.Rates {
+		b.WriteString(csvRow(f3(r.Rates[i]), f3(r.NocstarLat[i]),
+			f3(r.NoContention[i]), f3(r.MeshLat[i])))
+	}
+	return b.String()
+}
+
+// CSV emits the scalability rows.
+func (r Fig14Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow("cores", "org", "min", "avg", "max", "percent_energy_saved"))
+	for _, row := range r.Rows {
+		b.WriteString(csvRow(fmt.Sprint(row.Cores), row.Org,
+			f3(row.Min), f3(row.Avg), f3(row.Max), f3(row.EnergySaved)))
+	}
+	return b.String()
+}
+
+// CSV emits the full sorted Fig. 18 curves: rank, then one throughput and
+// one worst-app column per organization — exactly the series the paper
+// plots.
+func (r Fig18Result) CSV() string {
+	var b strings.Builder
+	header := []string{"rank"}
+	for _, org := range r.Orgs {
+		header = append(header, "throughput_"+org, "worst_"+org)
+	}
+	b.WriteString(csvRow(header...))
+	curves := map[string][]float64{}
+	for _, org := range r.Orgs {
+		curves["t"+org] = r.SortedThroughput(org)
+		curves["w"+org] = r.SortedWorst(org)
+	}
+	for i := 0; i < len(r.Combos); i++ {
+		cells := []string{fmt.Sprint(i)}
+		for _, org := range r.Orgs {
+			cells = append(cells, f3(curves["t"+org][i]), f3(curves["w"+org][i]))
+		}
+		b.WriteString(csvRow(cells...))
+	}
+	return b.String()
+}
+
+// CSV emits the storm grid.
+func (r Fig19Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow("cores", "org", "alone", "with_ub"))
+	for _, c := range r.Cells {
+		b.WriteString(csvRow(fmt.Sprint(c.Cores), c.Org, f3(c.Alone), f3(c.WithUB)))
+	}
+	return b.String()
+}
+
+// CSV emits cores,variant,workload,speedup rows.
+func (g focusGrid) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow("cores", "variant", "workload", "speedup"))
+	for _, c := range g.Cores {
+		for _, v := range g.Variants {
+			for _, w := range g.Workloads {
+				b.WriteString(csvRow(fmt.Sprint(c), v, w, f3(g.Speedup[c][v][w])))
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV emits the sensitivity rows.
+func (r Table3Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow("scenario", "org", "min", "avg", "max"))
+	for _, row := range r.Rows {
+		b.WriteString(csvRow(row.Prefetch, row.Org, f3(row.Min), f3(row.Avg), f3(row.Max)))
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and the simulation-derived motivation figures of Section
+// II). Each driver returns a structured result whose Render method prints
+// the same rows or series the paper reports; cmd/nocstar-exp exposes them
+// on the command line and bench_test.go as testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"nocstar/internal/system"
+	"nocstar/internal/workload"
+)
+
+// Options tune experiment scale. The defaults favour fidelity; benchmarks
+// and tests shrink Instr for speed.
+type Options struct {
+	// Instr is the per-thread instruction budget of each run.
+	Instr uint64
+	// Seed drives all randomness.
+	Seed int64
+	// Workloads filters the suite (nil = all eleven).
+	Workloads []string
+	// Combos bounds the Fig. 18 multiprogrammed combinations (0 = all 330).
+	Combos int
+	// CoreCounts overrides the scaling experiments' core counts
+	// (nil = the paper's 16/32/64).
+	CoreCounts []int
+}
+
+// coreCounts returns the core-count sweep.
+func (o Options) coreCounts() []int {
+	if len(o.CoreCounts) > 0 {
+		return o.CoreCounts
+	}
+	return []int{16, 32, 64}
+}
+
+// DefaultOptions returns the scale used for the recorded results in
+// EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{Instr: 150_000, Seed: 1}
+}
+
+// suite returns the selected workload specs.
+func (o Options) suite() []workload.Spec {
+	if len(o.Workloads) == 0 {
+		return workload.Suite()
+	}
+	var out []workload.Spec
+	for _, name := range o.Workloads {
+		if s, ok := workload.ByName(name); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// focusSuite returns the four workloads the paper uses in its policy
+// studies (Figs. 16 and 17), intersected with any filter.
+func (o Options) focusSuite() []workload.Spec {
+	focus := []string{"canneal", "graph500", "gups", "xsbench"}
+	if len(o.Workloads) > 0 {
+		focus = nil
+		for _, name := range o.Workloads {
+			focus = append(focus, name)
+		}
+	}
+	var out []workload.Spec
+	for _, name := range focus {
+		if s, ok := workload.ByName(name); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// baseConfig builds the standard single-application configuration: one
+// thread per core running spec.
+func (o Options) baseConfig(org system.Org, spec workload.Spec, cores int, thp bool) system.Config {
+	return system.Config{
+		Org:            org,
+		Cores:          cores,
+		Apps:           []system.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+		THP:            thp,
+		InstrPerThread: o.Instr,
+		Seed:           o.Seed,
+	}
+}
+
+// run executes a config, panicking on configuration errors (experiment
+// configs are code, not user input).
+func run(cfg system.Config) system.Result {
+	r, err := system.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return r
+}
+
+// baselineKey caches private-baseline runs shared across experiments.
+type baselineKey struct {
+	name  string
+	cores int
+	thp   bool
+	instr uint64
+	seed  int64
+}
+
+var baselineCache = map[baselineKey]system.Result{}
+
+// privateBaseline returns (and caches) the private-L2-TLB run every
+// speedup is measured against.
+func (o Options) privateBaseline(spec workload.Spec, cores int, thp bool) system.Result {
+	key := baselineKey{spec.Name, cores, thp, o.Instr, o.Seed}
+	if r, ok := baselineCache[key]; ok {
+		return r
+	}
+	r := run(o.baseConfig(system.Private, spec, cores, thp))
+	baselineCache[key] = r
+	return r
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

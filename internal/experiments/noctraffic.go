@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nocstar/internal/engine"
+	"nocstar/internal/noc"
+	"nocstar/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Fig. 11(c) — synthetic uniform-random traffic on a 64-node NOCSTAR
+// fabric: average message latency and fraction of contention-free path
+// setups versus injection rate, against the multi-hop-mesh reference.
+
+// Fig11cResult holds the injection sweep.
+type Fig11cResult struct {
+	Rates        []float64
+	NocstarLat   []float64 // average setup+traversal cycles
+	NoContention []float64 // fraction granted first try
+	MeshLat      []float64 // contention-free multi-hop mesh reference
+}
+
+// Fig11cPoint runs one injection rate on an n-node fabric for the given
+// number of cycles. rate is the per-node probability of injecting a
+// message each cycle (the paper sweeps 0.01-0.4; 0.1 means one message
+// every 10 cycles per core, already "high for TLB traffic").
+func Fig11cPoint(n int, rate float64, cycles uint64, seed int64) (avgLat, noContention float64) {
+	eng := engine.New()
+	geo := noc.GridFor(n)
+	fabric := noc.NewNocstar(eng, noc.NocstarConfig{Geometry: geo, HPCmax: 16})
+	rng := engine.NewRand(seed)
+
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		if uint64(now) >= cycles {
+			return
+		}
+		for node := 0; node < geo.Nodes(); node++ {
+			if rng.Float64() >= rate {
+				continue
+			}
+			src := noc.NodeID(node)
+			dst := noc.NodeID(rng.Intn(geo.Nodes() - 1))
+			if dst >= src {
+				dst++
+			}
+			fabric.RequestPath(src, dst, fabric.HoldCyclesOneWay(src, dst), func(int) {})
+		}
+		eng.Schedule(1, tick)
+	}
+	eng.Schedule(1, tick)
+	eng.Run()
+
+	st := fabric.Stats()
+	return st.AvgNetworkLatency(), st.NoContentionFraction()
+}
+
+// Fig11c sweeps injection rates on the 64-node system.
+func Fig11c(o Options) Fig11cResult {
+	res := Fig11cResult{}
+	geo := noc.GridFor(64)
+	mesh := noc.NewMesh(noc.DefaultMeshConfig(geo))
+	meshAvg := 0.0
+	{
+		// Contention-free mesh average over uniform pairs.
+		total, cnt := 0, 0
+		for s := 0; s < geo.Nodes(); s++ {
+			for d := 0; d < geo.Nodes(); d++ {
+				if s == d {
+					continue
+				}
+				total += mesh.LatencyForHops(geo.Hops(noc.NodeID(s), noc.NodeID(d)))
+				cnt++
+			}
+		}
+		meshAvg = float64(total) / float64(cnt)
+	}
+	cycles := o.Instr / 5
+	if cycles < 2000 {
+		cycles = 2000
+	}
+	for _, rate := range []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4} {
+		lat, free := Fig11cPoint(64, rate, cycles, o.Seed)
+		res.Rates = append(res.Rates, rate)
+		res.NocstarLat = append(res.NocstarLat, lat)
+		res.NoContention = append(res.NoContention, 100*free)
+		res.MeshLat = append(res.MeshLat, meshAvg)
+	}
+	return res
+}
+
+// Render prints the sweep.
+func (r Fig11cResult) Render() string {
+	t := stats.NewTable("Fig. 11(c): NOCSTAR latency vs injection rate (64 nodes, uniform random)")
+	t.Row("injection", "NOCSTAR avg lat", "% no contention", "multi-hop mesh")
+	for i, rate := range r.Rates {
+		t.Row(fmt.Sprintf("%.2f", rate),
+			fmt.Sprintf("%.2f", r.NocstarLat[i]),
+			fmt.Sprintf("%.1f", r.NoContention[i]),
+			fmt.Sprintf("%.1f", r.MeshLat[i]))
+	}
+	return t.String()
+}

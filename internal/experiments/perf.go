@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"nocstar/internal/energy"
+	"nocstar/internal/stats"
+	"nocstar/internal/system"
+)
+
+// SpeedupGrid is a generic workload x configuration speedup table versus
+// the private-L2-TLB baseline.
+type SpeedupGrid struct {
+	Title     string
+	Workloads []string
+	Configs   []string
+	Speedup   map[string]map[string]float64 // workload -> config -> speedup
+}
+
+// Render prints the grid with a closing average row.
+func (g SpeedupGrid) Render() string {
+	t := stats.NewTable(g.Title)
+	t.Row(append([]interface{}{"workload"}, toIfaces(g.Configs)...)...)
+	sums := make([]float64, len(g.Configs))
+	for _, w := range g.Workloads {
+		row := []interface{}{w}
+		for i, c := range g.Configs {
+			v := g.Speedup[w][c]
+			sums[i] += v
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		t.Row(row...)
+	}
+	row := []interface{}{"average"}
+	for i := range sums {
+		row = append(row, fmt.Sprintf("%.3f", sums[i]/float64(len(g.Workloads))))
+	}
+	t.Row(row...)
+	return t.String()
+}
+
+// Average returns the mean speedup of one configuration column.
+func (g SpeedupGrid) Average(config string) float64 {
+	var vs []float64
+	for _, w := range g.Workloads {
+		vs = append(vs, g.Speedup[w][config])
+	}
+	return stats.Mean64(vs)
+}
+
+// MinMax returns the extremes of one configuration column.
+func (g SpeedupGrid) MinMax(config string) (lo, hi float64) {
+	var vs []float64
+	for _, w := range g.Workloads {
+		vs = append(vs, g.Speedup[w][config])
+	}
+	return stats.MinMax(vs)
+}
+
+// speedupGrid runs each (workload, config) pair against the cached
+// private baseline.
+func speedupGrid(o Options, title string, cores int, thp bool,
+	configs []string, build func(name string, cfg *system.Config)) SpeedupGrid {
+	g := SpeedupGrid{
+		Title:   title,
+		Configs: configs,
+		Speedup: map[string]map[string]float64{},
+	}
+	for _, spec := range o.suite() {
+		g.Workloads = append(g.Workloads, spec.Name)
+		g.Speedup[spec.Name] = map[string]float64{}
+		priv := o.privateBaseline(spec, cores, thp)
+		for _, name := range configs {
+			cfg := o.baseConfig(system.Private, spec, cores, thp)
+			build(name, &cfg)
+			g.Speedup[spec.Name][name] = run(cfg).SpeedupOver(priv)
+		}
+	}
+	return g
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4 — monolithic shared TLB speedups at forced total access
+// latencies of 25/16/11/9 cycles, 32 cores.
+
+// Fig4 reproduces the Section II-D motivation study.
+func Fig4(o Options) SpeedupGrid {
+	configs := []string{"Shared(25-cc)", "Shared(16-cc)", "Shared(11-cc)", "Shared(9-cc)"}
+	lats := map[string]int{"Shared(25-cc)": 25, "Shared(16-cc)": 16, "Shared(11-cc)": 11, "Shared(9-cc)": 9}
+	return speedupGrid(o, "Fig. 4: monolithic shared TLB speedup vs forced access latency (32 cores)",
+		32, false, configs, func(name string, cfg *system.Config) {
+			cfg.Org = system.MonolithicFixed
+			cfg.FixedAccessLatency = lats[name]
+		})
+}
+
+// orgConfigs is the Fig. 12/13 configuration set.
+var orgConfigs = map[string]system.Org{
+	"Monolithic":  system.MonolithicMesh,
+	"Distributed": system.DistributedMesh,
+	"NOCSTAR":     system.Nocstar,
+	"Ideal":       system.IdealShared,
+}
+
+// Fig12 — speedups at 16 cores with only 4 KB pages.
+func Fig12(o Options) SpeedupGrid {
+	return figPerf(o, "Fig. 12: speedups, 16 cores, 4KB pages", 16, false)
+}
+
+// Fig13 — speedups at 16 cores with transparent 2 MB superpages.
+func Fig13(o Options) SpeedupGrid {
+	return figPerf(o, "Fig. 13: speedups, 16 cores, transparent superpages", 16, true)
+}
+
+func figPerf(o Options, title string, cores int, thp bool) SpeedupGrid {
+	configs := []string{"Monolithic", "Distributed", "NOCSTAR", "Ideal"}
+	return speedupGrid(o, title, cores, thp, configs, func(name string, cfg *system.Config) {
+		cfg.Org = orgConfigs[name]
+		cfg.L2EntriesPerCore = 0 // re-derive default per org (920 for NOCSTAR)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fig. 14 — scalability (left: min/avg/max speedups; right: percent of
+// address-translation energy saved) at 16/32/64 cores with superpages.
+
+// Fig14Row is one (cores, org) cell.
+type Fig14Row struct {
+	Cores       int
+	Org         string
+	Min, Avg, Max float64
+	EnergySaved float64 // percent of baseline translation energy
+}
+
+// Fig14Result holds the scalability sweep.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 runs the sweep.
+func Fig14(o Options) Fig14Result {
+	var res Fig14Result
+	orgs := []string{"Monolithic", "Distributed", "NOCSTAR"}
+	for _, cores := range o.coreCounts() {
+		grids := figPerf(o, "", cores, true)
+		for _, org := range orgs {
+			lo, hi := grids.MinMax(org)
+			row := Fig14Row{Cores: cores, Org: org, Min: lo, Avg: grids.Average(org), Max: hi}
+			// Energy: average percent saved across the suite.
+			var saved []float64
+			for _, spec := range o.suite() {
+				priv := o.privateBaseline(spec, cores, true)
+				cfg := o.baseConfig(orgConfigs[org], spec, cores, true)
+				cfg.L2EntriesPerCore = 0
+				r := run(cfg)
+				saved = append(saved, energy.PercentSaved(&r.Energy, &priv.Energy))
+			}
+			row.EnergySaved = stats.Mean64(saved)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Render prints both panels of Fig. 14.
+func (r Fig14Result) Render() string {
+	t := stats.NewTable("Fig. 14: scalability (speedups and % translation energy saved, THP)")
+	t.Row("cores", "org", "min", "avg", "max", "% energy saved")
+	for _, row := range r.Rows {
+		t.Row(row.Cores, row.Org,
+			fmt.Sprintf("%.3f", row.Min), fmt.Sprintf("%.3f", row.Avg),
+			fmt.Sprintf("%.3f", row.Max), fmt.Sprintf("%.1f", row.EnergySaved))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 15 — teasing apart the interconnect contribution at 32 cores:
+// monolithic over multi-hop mesh and SMART, distributed, NOCSTAR,
+// NOCSTAR with an ideal (contention-free) fabric, and the
+// zero-interconnect ideal.
+
+// Fig15 runs the interconnect decomposition.
+func Fig15(o Options) SpeedupGrid {
+	configs := []string{"Mono(mesh)", "Mono(SMART)", "Distributed", "NOCSTAR", "NOCSTAR(ideal)", "Ideal"}
+	orgs := map[string]system.Org{
+		"Mono(mesh)":     system.MonolithicMesh,
+		"Mono(SMART)":    system.MonolithicSMART,
+		"Distributed":    system.DistributedMesh,
+		"NOCSTAR":        system.Nocstar,
+		"NOCSTAR(ideal)": system.NocstarIdeal,
+		"Ideal":          system.IdealShared,
+	}
+	return speedupGrid(o, "Fig. 15: interconnect decomposition, 32 cores",
+		32, false, configs, func(name string, cfg *system.Config) {
+			cfg.Org = orgs[name]
+			cfg.L2EntriesPerCore = 0
+		})
+}

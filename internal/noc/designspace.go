@@ -1,0 +1,204 @@
+package noc
+
+// This file reproduces Table I: the latency / bandwidth / area / power
+// design space of candidate TLB interconnects. The paper presents the
+// table qualitatively (check / cross marks); we compute first-order
+// numeric estimates from component models anchored to the Fig. 9
+// place-and-route data and classify them against thresholds, so the same
+// code regenerates both the numbers and the paper's qualitative verdicts.
+
+// Component cost constants (28 nm, 2 GHz design point). The NOCSTAR
+// switch and arbiter costs are the published Fig. 9 numbers; the buffered
+// router costs are first-order estimates for a 5-port 4-VC mesh router in
+// the same node, and the high-radix flattened-butterfly router scales by
+// its port count.
+const (
+	switchAreaMM2  = 0.0022 // NOCSTAR latchless mux switch (Fig. 9)
+	switchPowerMW  = 0.43
+	arbiterAreaMM2 = 0.0038 // NOCSTAR tile's link arbiters (Fig. 9)
+	arbiterPowerMW = 2.39
+
+	meshRouterAreaMM2 = 0.030 // buffered 5-port mesh router
+	meshRouterPowerMW = 6.5
+	fbflyRadixFactor  = 4.0 // high-radix router vs mesh router
+	busWireAreaMM2    = 0.010
+	busDriverPowerMW  = 9.0 // full-chip broadcast driver
+)
+
+// DesignPoint is one Table I row, numerically.
+type DesignPoint struct {
+	Name string
+	// AvgLatency is the mean no-load one-way latency (cycles) between a
+	// random source/destination pair.
+	AvgLatency float64
+	// BisectionLinks counts unidirectional links crossing the bisection —
+	// the bandwidth proxy.
+	BisectionLinks int
+	// AreaMM2 and PowerMW are chip-total interconnect estimates.
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// Verdict is the paper's qualitative classification of one metric.
+type Verdict int
+
+// Verdict values: Good is the paper's check mark, Poor its cross,
+// VeryGood/VeryPoor the double marks.
+const (
+	Poor Verdict = iota
+	VeryPoor
+	Good
+	VeryGood
+)
+
+// String renders the verdict as the paper's symbols.
+func (v Verdict) String() string {
+	switch v {
+	case Good:
+		return "+"
+	case VeryGood:
+		return "++"
+	case Poor:
+		return "-"
+	case VeryPoor:
+		return "--"
+	}
+	return "?"
+}
+
+// DesignVerdicts is one qualitative Table I row.
+type DesignVerdicts struct {
+	Name                            string
+	Latency, Bandwidth, Area, Power Verdict
+}
+
+// DesignSpace computes the Table I rows for an n-node system with the
+// given flit serialization factor for narrow designs.
+func DesignSpace(n int) []DesignPoint {
+	g := GridFor(n)
+	mean := g.MeanHops()
+	rows, cols := g.Rows, g.Cols
+	nodes := float64(g.Nodes())
+
+	// Mesh: 2 cycles per hop; bisection = 2*rows directed links; routers
+	// plus per-node link wiring.
+	mesh := DesignPoint{
+		Name:           "Mesh",
+		AvgLatency:     2 * mean,
+		BisectionLinks: 2 * rows,
+		AreaMM2:        nodes * meshRouterAreaMM2,
+		PowerMW:        nodes * meshRouterPowerMW,
+	}
+
+	// Bus: single shared medium. No-load latency is excellent (a repeated
+	// wire spans the chip in 1-2 cycles) and the wire itself is cheap, but
+	// the single medium has unit bisection bandwidth and every traversal
+	// is a full-chip broadcast, so power scales with node count — the
+	// paper's "does not scale and each traversal is a broadcast".
+	bus := DesignPoint{
+		Name:           "Bus",
+		AvgLatency:     2,
+		BisectionLinks: 1,
+		AreaMM2:        busWireAreaMM2 * nodes,
+		PowerMW:        busDriverPowerMW * nodes,
+	}
+
+	// FBFly-wide: all-to-all within rows and columns; ~2 hops average,
+	// high-radix routers at every node.
+	radix := float64(rows + cols - 2)
+	fbWide := DesignPoint{
+		Name:           "FBFly-wide",
+		AvgLatency:     2 * 2, // ~2 hops x (router+link)
+		BisectionLinks: rows * cols, // row links crossing + express links
+		AreaMM2:        nodes * meshRouterAreaMM2 * fbflyRadixFactor * radix / 8,
+		PowerMW:        nodes * meshRouterPowerMW * fbflyRadixFactor * radix / 8,
+	}
+
+	// FBFly-narrow: same topology with links narrowed to mesh-equivalent
+	// area; a TLB packet of ~4 flits adds serialization.
+	const narrowTs = 4
+	fbNarrow := DesignPoint{
+		Name:           "FBFly-narrow",
+		AvgLatency:     2*2 + narrowTs,
+		BisectionLinks: rows * cols / narrowTs,
+		AreaMM2:        nodes * meshRouterAreaMM2,
+		PowerMW:        nodes * meshRouterPowerMW,
+	}
+
+	// SMART: mesh wiring plus bypass; latency ~ 1 + H/HPC, but keeps the
+	// mesh's buffered routers plus SSR control wiring.
+	smart := DesignPoint{
+		Name:           "SMART",
+		AvgLatency:     1 + mean/8 + 1,
+		BisectionLinks: 2 * rows,
+		AreaMM2:        nodes * meshRouterAreaMM2 * 1.15,
+		PowerMW:        nodes * meshRouterPowerMW * 1.10,
+	}
+
+	// NOCSTAR: latchless switches and link arbiters only; single-cycle
+	// datapath plus single-cycle setup.
+	nstar := DesignPoint{
+		Name:           "NOCSTAR",
+		AvgLatency:     1 + 1 + mean/16,
+		BisectionLinks: 2 * rows,
+		AreaMM2:        nodes * (switchAreaMM2 + arbiterAreaMM2),
+		PowerMW:        nodes * (switchPowerMW + arbiterPowerMW),
+	}
+
+	return []DesignPoint{bus, mesh, fbWide, fbNarrow, smart, nstar}
+}
+
+// Classify converts numeric design points into the paper's qualitative
+// Table I verdicts, judging each metric relative to the mesh reference
+// (the commodity choice) — except bandwidth, which is judged against the
+// TLB traffic requirement the same way the paper does: the bus's single
+// shared medium is the only inadequate design.
+func Classify(points []DesignPoint) []DesignVerdicts {
+	var mesh DesignPoint
+	for _, p := range points {
+		if p.Name == "Mesh" {
+			mesh = p
+		}
+	}
+	out := make([]DesignVerdicts, 0, len(points))
+	for _, p := range points {
+		v := DesignVerdicts{Name: p.Name}
+
+		switch {
+		case p.AvgLatency <= mesh.AvgLatency/2:
+			v.Latency = Good
+		default:
+			v.Latency = Poor
+		}
+
+		switch {
+		case p.BisectionLinks <= 1:
+			v.Bandwidth = Poor
+		case p.BisectionLinks > 2*mesh.BisectionLinks:
+			v.Bandwidth = VeryGood
+		default:
+			v.Bandwidth = Good
+		}
+
+		switch {
+		case p.AreaMM2 <= mesh.AreaMM2/2:
+			v.Area = Good
+		case p.AreaMM2 > 2*mesh.AreaMM2:
+			v.Area = VeryPoor
+		default:
+			v.Area = Poor
+		}
+
+		switch {
+		case p.PowerMW <= mesh.PowerMW/2:
+			v.Power = Good
+		case p.PowerMW > 2*mesh.PowerMW:
+			v.Power = VeryPoor
+		default:
+			v.Power = Poor
+		}
+
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package noc
+
+import (
+	"sort"
+
+	"nocstar/internal/engine"
+)
+
+// AcquireMode selects the paper's two link-reservation policies
+// (Section V, "Path setup options" / Fig. 16 left).
+type AcquireMode int
+
+const (
+	// OneWayAcquire reserves links only for one message's traversal; the
+	// response arbitrates separately (the paper's better-performing
+	// "2×one-way" mode).
+	OneWayAcquire AcquireMode = iota
+	// RoundTripAcquire holds the path for the whole remote access,
+	// request through response ("1×two-way").
+	RoundTripAcquire
+)
+
+// PriorityRotationPeriod is how often the static arbitration priority
+// rotates round-robin to prevent starvation (Section III-B2: every 1000
+// cycles).
+const PriorityRotationPeriod = 1000
+
+// NocstarConfig configures the circuit-switched fabric.
+type NocstarConfig struct {
+	Geometry Geometry
+	// HPCmax is the maximum hops a signal travels per cycle before a
+	// pipeline latch is required (Section III-B3). Zero means the whole
+	// chip is reachable in one cycle.
+	HPCmax int
+	// Ideal disables contention: every setup is granted immediately.
+	// Used for the paper's "NOCSTAR (ideal)" series in Fig. 15.
+	Ideal bool
+}
+
+// NocstarStats aggregates fabric behaviour for Fig. 11(c) and Fig. 15.
+type NocstarStats struct {
+	Messages        uint64 // granted traversals
+	SetupAttempts   uint64 // one per arbitration try
+	FirstTryGrants  uint64 // messages granted with zero contention delay
+	TotalSetupDelay uint64 // cycles from first request to grant, >= 1 each
+	TotalTraversal  uint64 // datapath cycles
+}
+
+// AvgSetupCycles reports the mean cycles spent acquiring a path
+// (1.0 = no contention ever).
+func (s NocstarStats) AvgSetupCycles() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.TotalSetupDelay) / float64(s.Messages)
+}
+
+// NoContentionFraction reports the fraction of messages whose path was
+// granted on the first attempt (plotted in Fig. 11(c)).
+func (s NocstarStats) NoContentionFraction() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.FirstTryGrants) / float64(s.Messages)
+}
+
+// AvgNetworkLatency reports mean setup+traversal cycles per message.
+func (s NocstarStats) AvgNetworkLatency() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.TotalSetupDelay+s.TotalTraversal) / float64(s.Messages)
+}
+
+// setupReq is one in-flight path-setup request.
+type setupReq struct {
+	src, dst   NodeID
+	links      []LinkID
+	hold       engine.Cycle // cycles the links stay reserved once granted
+	firstTry   engine.Cycle
+	onGranted  func(traversal int)
+}
+
+// Nocstar is the latchless circuit-switched TLB interconnect. All link
+// arbiters resolve synchronously at the end of each cycle: a requester
+// must win every link of its XY path in the same cycle or it retries next
+// cycle (Section III-B2, "no packets traversing partial paths").
+type Nocstar struct {
+	cfg  NocstarConfig
+	eng  *engine.Engine
+	geo  Geometry
+	// reservedUntil[l] is the last cycle link l is held through.
+	reservedUntil []engine.Cycle
+	pending       []*setupReq
+	arbScheduled  bool
+	stats         NocstarStats
+}
+
+// NewNocstar builds the fabric on an engine.
+func NewNocstar(eng *engine.Engine, cfg NocstarConfig) *Nocstar {
+	return &Nocstar{
+		cfg:           cfg,
+		eng:           eng,
+		geo:           cfg.Geometry,
+		reservedUntil: make([]engine.Cycle, cfg.Geometry.NumLinks()),
+	}
+}
+
+// Geometry returns the fabric's grid.
+func (n *Nocstar) Geometry() Geometry { return n.geo }
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Nocstar) Stats() NocstarStats { return n.stats }
+
+// TraversalCycles returns the datapath cycles for h hops: a single cycle
+// when the path fits within HPCmax, one more per additional HPCmax-hop
+// segment (pipeline latches, Section III-B3). Zero hops (local slice)
+// costs nothing.
+func (n *Nocstar) TraversalCycles(h int) int {
+	if h <= 0 {
+		return 0
+	}
+	if n.cfg.HPCmax <= 0 {
+		return 1
+	}
+	return (h + n.cfg.HPCmax - 1) / n.cfg.HPCmax
+}
+
+// HoldCyclesOneWay returns how long links are reserved for a one-way
+// message between src and dst.
+func (n *Nocstar) HoldCyclesOneWay(src, dst NodeID) engine.Cycle {
+	return engine.Cycle(n.TraversalCycles(n.geo.Hops(src, dst)))
+}
+
+// RequestPath begins acquiring the XY path from src to dst. Arbitration
+// happens at the end of the current cycle; on a conflict the request
+// retries automatically every cycle until it wins. onGranted runs at the
+// start of the cycle the message may begin traversing, and receives the
+// traversal cycle count. hold is how many cycles the links stay reserved
+// from that point (use HoldCyclesOneWay, or the full round-trip residency
+// for RoundTripAcquire).
+//
+// src == dst is a caller bug — local slices bypass the network — and
+// panics to surface model errors early.
+func (n *Nocstar) RequestPath(src, dst NodeID, hold engine.Cycle, onGranted func(traversal int)) {
+	if src == dst {
+		panic("noc: RequestPath for local access")
+	}
+	req := &setupReq{
+		src:       src,
+		dst:       dst,
+		links:     n.geo.XYPath(src, dst),
+		hold:      hold,
+		firstTry:  n.eng.Now(),
+		onGranted: onGranted,
+	}
+	n.enqueue(req)
+}
+
+// enqueue adds a request to this cycle's arbitration round.
+func (n *Nocstar) enqueue(req *setupReq) {
+	n.pending = append(n.pending, req)
+	if !n.arbScheduled {
+		n.arbScheduled = true
+		n.eng.AtEndOfCycle(n.arbitrate)
+	}
+}
+
+// priority returns the rotating static priority of a source node: lower
+// is better. The rotation shifts the favoured node round-robin every
+// PriorityRotationPeriod cycles, which guarantees starvation freedom.
+func (n *Nocstar) priority(src NodeID, now engine.Cycle) int {
+	nodes := n.geo.Nodes()
+	rot := int(now/PriorityRotationPeriod) % nodes
+	return (int(src) - rot + nodes) % nodes
+}
+
+// arbitrate resolves every setup request issued in the current cycle.
+// Requests are considered in static-priority order; a request wins only
+// if every link of its path is free for its entire hold window. Losers
+// retry next cycle.
+func (n *Nocstar) arbitrate() {
+	n.arbScheduled = false
+	reqs := n.pending
+	n.pending = nil
+	now := n.eng.Now()
+
+	sort.SliceStable(reqs, func(i, j int) bool {
+		return n.priority(reqs[i].src, now) < n.priority(reqs[j].src, now)
+	})
+
+	for _, req := range reqs {
+		n.stats.SetupAttempts++
+		if n.granted(req, now) {
+			continue
+		}
+		// Denied: retry at the end of the next cycle.
+		req := req
+		n.eng.Schedule(1, func() { n.enqueue(req) })
+	}
+}
+
+// granted attempts to reserve the request's links for [now+1, now+hold].
+// On success it schedules onGranted for the next cycle.
+func (n *Nocstar) granted(req *setupReq, now engine.Cycle) bool {
+	if !n.cfg.Ideal {
+		for _, l := range req.links {
+			if n.reservedUntil[l] > now {
+				return false
+			}
+		}
+		until := now + req.hold
+		for _, l := range req.links {
+			n.reservedUntil[l] = until
+		}
+	}
+	n.stats.Messages++
+	setupDelay := uint64(now-req.firstTry) + 1
+	n.stats.TotalSetupDelay += setupDelay
+	if setupDelay == 1 {
+		n.stats.FirstTryGrants++
+	}
+	traversal := n.TraversalCycles(len(req.links))
+	n.stats.TotalTraversal += uint64(traversal)
+	n.eng.Schedule(1, func() { req.onGranted(traversal) })
+	return true
+}
+
+// Release frees the links of the XY path from src to dst immediately.
+// RoundTripAcquire holders call this when the response has been consumed
+// earlier than the conservatively reserved window.
+func (n *Nocstar) Release(src, dst NodeID) {
+	now := n.eng.Now()
+	for _, l := range n.geo.XYPath(src, dst) {
+		if n.reservedUntil[l] > now {
+			n.reservedUntil[l] = now
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package noc
+
+import (
+	"testing"
+
+	"nocstar/internal/engine"
+)
+
+func newFabric(t *testing.T, n, hpc int, ideal bool) (*engine.Engine, *Nocstar) {
+	t.Helper()
+	eng := engine.New()
+	ns := NewNocstar(eng, NocstarConfig{Geometry: GridFor(n), HPCmax: hpc, Ideal: ideal})
+	return eng, ns
+}
+
+func TestTraversalCycles(t *testing.T) {
+	_, ns := newFabric(t, 64, 8, false)
+	cases := []struct{ hops, want int }{
+		{0, 0}, {1, 1}, {8, 1}, {9, 2}, {14, 2}, {16, 2}, {17, 3},
+	}
+	for _, c := range cases {
+		if got := ns.TraversalCycles(c.hops); got != c.want {
+			t.Fatalf("TraversalCycles(%d) = %d, want %d", c.hops, got, c.want)
+		}
+	}
+	// HPCmax=0 means whole chip in one cycle.
+	_, ns0 := newFabric(t, 64, 0, false)
+	if ns0.TraversalCycles(14) != 1 {
+		t.Fatal("HPCmax=0 should give single-cycle traversal")
+	}
+}
+
+func TestSingleRequestGrantTiming(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, false)
+	var grantedAt engine.Cycle
+	var traversal int
+	eng.Schedule(5, func() {
+		ns.RequestPath(0, 15, ns.HoldCyclesOneWay(0, 15), func(tr int) {
+			grantedAt = eng.Now()
+			traversal = tr
+		})
+	})
+	eng.Run()
+	// Fig. 10 timeline: setup during cycle 5, traversal begins cycle 6.
+	if grantedAt != 6 {
+		t.Fatalf("granted at %d, want 6", grantedAt)
+	}
+	if traversal != 1 {
+		t.Fatalf("traversal = %d, want 1 (6 hops, HPC 16)", traversal)
+	}
+	st := ns.Stats()
+	if st.Messages != 1 || st.FirstTryGrants != 1 || st.TotalSetupDelay != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConflictingRequestsSerialize(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, false)
+	// Node 0 and node 0's neighbour both need link 1->2 on row 0:
+	// paths 0->3 and 1->3 share links.
+	var grants []engine.Cycle
+	eng.Schedule(1, func() {
+		ns.RequestPath(0, 3, ns.HoldCyclesOneWay(0, 3), func(int) {
+			grants = append(grants, eng.Now())
+		})
+		ns.RequestPath(1, 3, ns.HoldCyclesOneWay(1, 3), func(int) {
+			grants = append(grants, eng.Now())
+		})
+	})
+	eng.Run()
+	if len(grants) != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	if grants[0] == grants[1] {
+		t.Fatal("conflicting paths granted in the same cycle")
+	}
+	st := ns.Stats()
+	if st.FirstTryGrants != 1 {
+		t.Fatalf("first-try grants = %d, want 1", st.FirstTryGrants)
+	}
+	if st.Messages != 2 {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+}
+
+func TestDisjointPathsShareCycle(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, false)
+	// Row 0 and row 3 paths are disjoint: both grant in the same cycle.
+	var grants []engine.Cycle
+	eng.Schedule(1, func() {
+		ns.RequestPath(0, 3, ns.HoldCyclesOneWay(0, 3), func(int) {
+			grants = append(grants, eng.Now())
+		})
+		ns.RequestPath(12, 15, ns.HoldCyclesOneWay(12, 15), func(int) {
+			grants = append(grants, eng.Now())
+		})
+	})
+	eng.Run()
+	if len(grants) != 2 || grants[0] != grants[1] {
+		t.Fatalf("disjoint paths did not grant together: %v", grants)
+	}
+	if ns.Stats().FirstTryGrants != 2 {
+		t.Fatalf("stats = %+v", ns.Stats())
+	}
+}
+
+func TestNoPartialPathReservation(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, false)
+	// First request holds 0->1->2->3 for 10 cycles. A second request
+	// 1->2 (subset) must be denied while held; a third request 4->7 on
+	// another row must be unaffected.
+	eng.Schedule(1, func() {
+		ns.RequestPath(0, 3, 10, func(int) {})
+	})
+	var secondGrant, thirdGrant engine.Cycle
+	eng.Schedule(2, func() {
+		ns.RequestPath(1, 3, ns.HoldCyclesOneWay(1, 3), func(int) { secondGrant = eng.Now() })
+		ns.RequestPath(4, 7, ns.HoldCyclesOneWay(4, 7), func(int) { thirdGrant = eng.Now() })
+	})
+	eng.Run()
+	if thirdGrant != 3 {
+		t.Fatalf("independent path granted at %d, want 3", thirdGrant)
+	}
+	// Held through cycle 11 (granted end of cycle 1, hold 10 from cycle
+	// 2): next winnable arbitration is end of cycle 11, grant cycle 12.
+	if secondGrant < 12 {
+		t.Fatalf("overlapping path granted at %d while links held", secondGrant)
+	}
+}
+
+func TestIdealModeNeverBlocks(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, true)
+	var grants []engine.Cycle
+	eng.Schedule(1, func() {
+		for i := 0; i < 8; i++ {
+			ns.RequestPath(0, 3, 100, func(int) { grants = append(grants, eng.Now()) })
+		}
+	})
+	eng.Run()
+	if len(grants) != 8 {
+		t.Fatalf("grants = %d", len(grants))
+	}
+	for _, g := range grants {
+		if g != 2 {
+			t.Fatalf("ideal grant at %d, want 2", g)
+		}
+	}
+}
+
+func TestReleaseFreesLinks(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, false)
+	eng.Schedule(1, func() {
+		ns.RequestPath(0, 3, 1000, func(int) {
+			// Holder releases early at cycle 5.
+			eng.At(5, func() { ns.Release(0, 3) })
+		})
+	})
+	var grant engine.Cycle
+	eng.Schedule(3, func() {
+		ns.RequestPath(0, 3, 1, func(int) { grant = eng.Now() })
+	})
+	eng.Run()
+	if grant != 6 {
+		t.Fatalf("post-release grant at %d, want 6", grant)
+	}
+}
+
+func TestPriorityRotationPreventsStarvation(t *testing.T) {
+	// Node 0 (statically favoured at rotation 0) floods the fabric with
+	// back-to-back requests over the same path; node 1's overlapping
+	// request must still eventually win thanks to round-robin rotation.
+	eng, ns := newFabric(t, 16, 16, false)
+	stop := engine.Cycle(3 * PriorityRotationPeriod)
+	var flood func()
+	flood = func() {
+		if eng.Now() >= stop {
+			return
+		}
+		ns.RequestPath(0, 3, 2, func(int) {
+			flood()
+		})
+	}
+	var victimGranted bool
+	eng.Schedule(1, flood)
+	eng.Schedule(10, func() {
+		ns.RequestPath(1, 3, 1, func(int) { victimGranted = true })
+	})
+	eng.Run()
+	if !victimGranted {
+		t.Fatal("low-priority requester starved despite rotation")
+	}
+}
+
+func TestLocalRequestPanics(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RequestPath(src==dst) did not panic")
+		}
+	}()
+	_ = eng
+	ns.RequestPath(3, 3, 1, func(int) {})
+}
+
+func TestStatsAverages(t *testing.T) {
+	var st NocstarStats
+	if st.AvgSetupCycles() != 0 || st.NoContentionFraction() != 0 || st.AvgNetworkLatency() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+	st = NocstarStats{Messages: 4, FirstTryGrants: 3, TotalSetupDelay: 6, TotalTraversal: 4}
+	if st.AvgSetupCycles() != 1.5 {
+		t.Fatalf("AvgSetupCycles = %v", st.AvgSetupCycles())
+	}
+	if st.NoContentionFraction() != 0.75 {
+		t.Fatalf("NoContentionFraction = %v", st.NoContentionFraction())
+	}
+	if st.AvgNetworkLatency() != 2.5 {
+		t.Fatalf("AvgNetworkLatency = %v", st.AvgNetworkLatency())
+	}
+}
+
+func TestMeshLatency(t *testing.T) {
+	g := Geometry{Rows: 4, Cols: 4}
+	m := NewMesh(DefaultMeshConfig(g))
+	if got := m.Latency(0, 15); got != 12 {
+		t.Fatalf("mesh 6-hop latency = %d, want 12 (2/hop)", got)
+	}
+	if m.Latency(5, 5) != 0 {
+		t.Fatal("local mesh latency != 0")
+	}
+	if m.LatencyForHops(3) != 6 {
+		t.Fatalf("LatencyForHops(3) = %d", m.LatencyForHops(3))
+	}
+	msgs, avg := m.Stats()
+	if msgs != 1 || avg != 12 {
+		t.Fatalf("mesh stats = %d %v", msgs, avg)
+	}
+}
+
+func TestMeshSerialization(t *testing.T) {
+	g := Geometry{Rows: 4, Cols: 4}
+	m := NewMesh(MeshConfig{Geometry: g, RouterCycles: 1, LinkCycles: 1, Serialization: 4})
+	if got := m.Latency(0, 1); got != 6 {
+		t.Fatalf("narrow mesh latency = %d, want 2+4", got)
+	}
+}
+
+func TestSMARTLatency(t *testing.T) {
+	g := Geometry{Rows: 8, Cols: 8}
+	s := NewSMART(DefaultSMARTConfig(g))
+	if got := s.Latency(0, 63); got != 1+2 {
+		t.Fatalf("SMART 14-hop latency = %d, want 3", got)
+	}
+	if s.LatencyForHops(0) != 0 {
+		t.Fatal("SMART local latency != 0")
+	}
+	if s.LatencyForHops(8) != 2 {
+		t.Fatalf("SMART 8-hop latency = %d, want 2", s.LatencyForHops(8))
+	}
+}
+
+func TestDesignSpaceTable1(t *testing.T) {
+	points := DesignSpace(64)
+	verdicts := Classify(points)
+	byName := map[string]DesignVerdicts{}
+	for _, v := range verdicts {
+		byName[v.Name] = v
+	}
+	// The paper's Table I rows.
+	checks := []struct {
+		name                            string
+		latency, bandwidth, area, power bool // true = favourable
+	}{
+		{"Bus", true, false, true, false},
+		{"Mesh", false, true, false, false},
+		{"FBFly-wide", true, true, false, false},
+		{"FBFly-narrow", false, true, false, false},
+		{"SMART", true, true, false, false},
+		{"NOCSTAR", true, true, true, true},
+	}
+	fav := func(v Verdict) bool { return v == Good || v == VeryGood }
+	for _, c := range checks {
+		v, ok := byName[c.name]
+		if !ok {
+			t.Fatalf("design %q missing", c.name)
+		}
+		if fav(v.Latency) != c.latency || fav(v.Bandwidth) != c.bandwidth ||
+			fav(v.Area) != c.area || fav(v.Power) != c.power {
+			t.Fatalf("%s verdicts = lat %v bw %v area %v pow %v, want %v %v %v %v",
+				c.name, v.Latency, v.Bandwidth, v.Area, v.Power,
+				c.latency, c.bandwidth, c.area, c.power)
+		}
+	}
+	// FBFly-wide must be very good on bandwidth and very poor on area,
+	// matching the paper's double marks.
+	if byName["FBFly-wide"].Bandwidth != VeryGood || byName["FBFly-wide"].Area != VeryPoor {
+		t.Fatalf("FBFly-wide double verdicts wrong: %+v", byName["FBFly-wide"])
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Good.String() != "+" || VeryPoor.String() != "--" || Poor.String() != "-" || VeryGood.String() != "++" {
+		t.Fatal("verdict strings wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessCyclesAnchors(t *testing.T) {
+	// Published anchors from Fig. 3 and the text.
+	if got := AccessCycles(ReferenceEntries); got != 9 {
+		t.Fatalf("1536 entries = %d cycles, want 9", got)
+	}
+	if got := AccessCycles(32 * ReferenceEntries); got != 15 {
+		t.Fatalf("32x = %d cycles, want 15", got)
+	}
+	if got := AccessCycles(ReferenceEntries / 2); got < 7 || got > 8 {
+		t.Fatalf("0.5x = %d cycles, want 7-8", got)
+	}
+	if got := AccessCycles(64 * ReferenceEntries); got < 16 || got > 17 {
+		t.Fatalf("64x = %d cycles, want 16-17", got)
+	}
+	// A 1024-entry Haswell private L2 TLB lands at the paper's 9-cycle
+	// baseline (Section IV; Intel manuals: 7-10 cycles), as does the
+	// area-normalized 920-entry NOCSTAR slice.
+	if got := AccessCycles(1024); got != 9 {
+		t.Fatalf("1024 entries = %d cycles, want 9", got)
+	}
+	if got := AccessCycles(920); got != 9 {
+		t.Fatalf("920 entries = %d cycles, want 9", got)
+	}
+}
+
+func TestAccessCyclesMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return AccessCycles(x) <= AccessCycles(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessCyclesFloor(t *testing.T) {
+	if got := AccessCycles(1); got < 2 {
+		t.Fatalf("tiny array latency %d below floor", got)
+	}
+	if got := AccessCycles(0); got != 2 {
+		t.Fatalf("0 entries = %d, want floor 2", got)
+	}
+	if got := AccessCycles(-5); got != 2 {
+		t.Fatalf("negative entries = %d, want floor 2", got)
+	}
+}
+
+func TestFig9Published(t *testing.T) {
+	c := Fig9()
+	if c.SwitchPowerMW != 0.43 || c.ArbiterPowerMW != 2.39 || c.SRAMPowerMW != 10.91 {
+		t.Fatalf("power numbers drifted from Fig. 9: %+v", c)
+	}
+	if c.SwitchAreaMM2 != 0.0022 || c.ArbiterAreaMM2 != 0.0038 || c.SRAMAreaMM2 != 0.4646 {
+		t.Fatalf("area numbers drifted from Fig. 9: %+v", c)
+	}
+}
+
+func TestInterconnectAreaFraction(t *testing.T) {
+	sw, both := Fig9().InterconnectAreaFraction()
+	if sw >= 0.01 {
+		t.Fatalf("switch-only fraction %.4f, paper claims <1%%", sw)
+	}
+	if both <= sw || both > 0.02 {
+		t.Fatalf("switch+arbiter fraction %.4f out of plausible range", both)
+	}
+}
+
+func TestEnergyScaling(t *testing.T) {
+	small := AccessEnergyPJ(1024)
+	big := AccessEnergyPJ(32 * 1024)
+	if small <= 0 || big <= small {
+		t.Fatalf("energy not increasing: %v vs %v", small, big)
+	}
+	// sqrt scaling: 32x capacity => ~5.66x energy.
+	ratio := big / small
+	if ratio < 5 || ratio > 6.5 {
+		t.Fatalf("energy ratio %v, want ~5.66 (sqrt scaling)", ratio)
+	}
+	if AccessEnergyPJ(0) != 0 {
+		t.Fatal("zero entries should cost nothing")
+	}
+}
+
+func TestLeakageAndAreaLinear(t *testing.T) {
+	if LeakagePowerMW(2048) <= LeakagePowerMW(1024) {
+		t.Fatal("leakage not increasing with capacity")
+	}
+	if a := AreaMM2(1024); a != Fig9().SRAMAreaMM2 {
+		t.Fatalf("1024-entry area = %v, want published %v", a, Fig9().SRAMAreaMM2)
+	}
+	if AreaMM2(-1) != 0 || LeakagePowerMW(0) != 0 {
+		t.Fatal("non-positive entries should have zero cost")
+	}
+}
+
+func TestEnergyMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return AccessEnergyPJ(x) <= AccessEnergyPJ(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+package system
+
+import (
+	"nocstar/internal/engine"
+	"nocstar/internal/vm"
+	"nocstar/internal/workload"
+)
+
+// This file implements the virtual-memory disturbance machinery: steady
+// shootdown traffic (Fig. 16 right), and the Section V TLB-storm
+// microbenchmark — rapid context switches (full shared-TLB flushes on
+// x86) interleaved with superpage promotions/demotions whose 512-entry
+// invalidation bursts all target a single TLB slice.
+
+// storm is the storm microbenchmark's OS-side state.
+type storm struct {
+	as       *vm.AddressSpace
+	base     vm.VirtAddr
+	regions  uint64 // 2 MB regions cycled through
+	next     uint64
+	promoted []bool
+}
+
+// startDisturbances arms the shootdown generator and/or the storm co-run.
+func (s *System) startDisturbances() {
+	if s.cfg.ShootdownInterval > 0 {
+		s.eng.Schedule(engine.Cycle(s.cfg.ShootdownInterval), s.shootdownTick)
+	}
+	if s.cfg.Storm != nil {
+		st := &storm{
+			as:   vm.NewAddressSpace(vm.ContextID(len(s.apps) + 1)),
+			base: 0x7000_0000_0000,
+		}
+		st.regions = s.cfg.Storm.Pages / 512
+		if st.regions == 0 {
+			st.regions = 1
+		}
+		st.promoted = make([]bool, st.regions)
+		if s.cfg.Storm.PromoteDemoteInterval > 0 {
+			s.eng.Schedule(engine.Cycle(s.cfg.Storm.PromoteDemoteInterval), func() {
+				s.stormPromoteDemote(st)
+			})
+		}
+		if s.cfg.Storm.ContextSwitchInterval > 0 {
+			s.eng.Schedule(engine.Cycle(s.cfg.Storm.ContextSwitchInterval), s.stormContextSwitch)
+		}
+	}
+}
+
+// shootdownTick remaps one random hot page of a random app, broadcasting
+// the invalidation, then re-arms while any thread remains live.
+func (s *System) shootdownTick() {
+	if s.threadsLive == 0 {
+		return
+	}
+	a := s.apps[s.rng.Intn(len(s.apps))]
+	reg := a.regions[0] // remap in the shared region: every core caches it
+	idx := s.rng.Uint64n(reg.Pages)
+	va := reg.Base + vm.VirtAddr(workload.PageSlot(idx, reg.Pages)*vm.Page4K.Bytes())
+	s.ensureMapped(a, va) // the OS can remap a not-yet-touched page too
+	_, size, ok := a.as.Translate(va)
+	if ok {
+		s.deliverInvalidations([]vm.Invalidation{
+			{Ctx: a.as.Ctx, VPN: va.VPN(size), Size: size},
+		})
+	}
+	s.eng.Schedule(engine.Cycle(s.cfg.ShootdownInterval), s.shootdownTick)
+}
+
+// stormPromoteDemote performs the microbenchmark's next promote or demote
+// on its region ring: "allocate 4KB pages, promote them to 2MB
+// superpages, and then break them into 4KB pages again".
+func (s *System) stormPromoteDemote(st *storm) {
+	if s.threadsLive == 0 {
+		return
+	}
+	idx := st.next % st.regions
+	st.next++
+	base := st.base + vm.VirtAddr(idx*vm.Page2M.Bytes())
+	var invs []vm.Invalidation
+	if !st.promoted[idx] {
+		for i := uint64(0); i < 512; i++ {
+			st.as.EnsureMapped(base+vm.VirtAddr(i*vm.Page4K.Bytes()), vm.Page4K)
+		}
+		if got, err := st.as.Promote2M(base); err == nil {
+			invs = got
+			st.promoted[idx] = true
+		}
+	} else {
+		if got, err := st.as.Demote2M(base); err == nil {
+			invs = got
+			st.promoted[idx] = false
+		}
+	}
+	horizon := s.deliverInvalidations(invs)
+	// Shootdowns are synchronous: the storm process waits for the burst
+	// to drain before its next promote/demote, so congestion is bounded
+	// (and painful) rather than divergent.
+	next := engine.Cycle(s.cfg.Storm.PromoteDemoteInterval)
+	if wait := horizon - s.eng.Now(); wait > next {
+		next = wait + engine.Cycle(s.cfg.Storm.PromoteDemoteInterval)/4
+	}
+	s.eng.Schedule(next, func() {
+		s.stormPromoteDemote(st)
+	})
+}
+
+// stormContextSwitch models an x86 context switch under the storm: all
+// shared TLB contents are flushed, as are L1 TLBs and page-walk caches.
+func (s *System) stormContextSwitch() {
+	if s.threadsLive == 0 {
+		return
+	}
+	for _, c := range s.cores {
+		c.l1.Flush()
+		c.walker.InvalidatePWC()
+		if c.privL2 != nil {
+			c.privL2.Flush()
+		}
+	}
+	if s.mono != nil {
+		s.mono.Flush()
+		for b := range s.bankPortFree {
+			s.chargeBankPort(b, 4)
+		}
+	}
+	for i, sl := range s.slices {
+		sl.Flush()
+		s.chargeSlicePort(i, 4)
+	}
+	s.eng.Schedule(engine.Cycle(s.cfg.Storm.ContextSwitchInterval), s.stormContextSwitch)
+}
+
+// deliverInvalidations executes one shootdown: the IPI handler
+// invalidates every core's L1 TLB and page-walk cache, then invalidation
+// messages are relayed to the owning shared-TLB structure — either
+// directly from every core (InvLeaders == 0) or via the configured
+// invalidation leaders (Section III-G). Message traffic is charged to the
+// structure ports so it contends with demand lookups. Bursts targeting
+// the same structure (a superpage promotion invalidating 512 base-page
+// entries of one home slice) coalesce into at most a full set-scrub of
+// that structure, the way range invalidations work in hardware — so a
+// small slice absorbs a burst far faster than a monolithic bank.
+// It returns the latest cycle any charged port stays busy through.
+func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
+	if len(invs) == 0 {
+		return s.eng.Now()
+	}
+
+	// How many relayed messages reach the shared structure per
+	// invalidation, and the relay serialization at leader cores.
+	senders := s.cfg.Cores
+	if s.cfg.InvLeaders > 0 && s.cfg.InvLeaders < s.cfg.Cores {
+		senders = s.cfg.InvLeaders
+		group := (s.cfg.Cores + senders - 1) / senders
+		for l := 0; l < s.cfg.Cores; l += group {
+			s.chargeSlicePortIfAny(l, group)
+		}
+	}
+
+	sliceCharges := map[int]int{}
+	bankCharges := map[int]int{}
+	privCharges := 0
+
+	for _, inv := range invs {
+		for _, c := range s.cores {
+			c.l1.Apply(inv)
+			c.walker.InvalidatePWC()
+		}
+
+		switch {
+		case s.mono != nil:
+			s.mono.Apply(inv)
+			bank := 0
+			if !inv.FullFlush {
+				bank = s.bankFor(vm.VirtAddr(inv.VPN << inv.Size.Shift()))
+			}
+			bankCharges[bank] += senders
+			s.shootdowns += uint64(senders)
+		case s.slices != nil:
+			if inv.FullFlush {
+				for i, sl := range s.slices {
+					sl.Apply(inv)
+					sliceCharges[i]++
+				}
+				s.shootdowns += uint64(len(s.slices))
+				continue
+			}
+			home := s.homeSlice(vm.VirtAddr(inv.VPN << inv.Size.Shift()))
+			s.slices[home].Apply(inv)
+			sliceCharges[home] += senders
+			s.shootdowns += uint64(senders)
+		default:
+			// Private org: every core's private L2 TLB performs the
+			// invalidation lookup, occupying its port — IPI shootdowns
+			// are not free on the baseline either.
+			for _, c := range s.cores {
+				c.privL2.Apply(inv)
+			}
+			privCharges++
+			s.shootdowns++
+		}
+	}
+
+	// Apply coalesced charges: a burst costs at most one scrub of the
+	// target structure's sets plus the message delivery itself.
+	horizon := s.eng.Now()
+	for slice, n := range sliceCharges {
+		cap := s.slices[slice].Sets() + senders
+		if n > cap {
+			n = cap
+		}
+		s.chargeSlicePort(slice, n)
+		if s.slicePortFree[slice] > horizon {
+			horizon = s.slicePortFree[slice]
+		}
+	}
+	for bank, n := range bankCharges {
+		cap := s.mono.Sets()/s.cfg.Banks + senders
+		if n > cap {
+			n = cap
+		}
+		s.chargeBankPort(bank, n)
+		if s.bankPortFree[bank] > horizon {
+			horizon = s.bankPortFree[bank]
+		}
+	}
+	if privCharges > 0 {
+		// The same scrub coalescing applies to each private L2 TLB.
+		n := privCharges
+		if cap := s.cores[0].privL2.Sets() + 1; n > cap {
+			n = cap
+		}
+		now := s.eng.Now()
+		for _, c := range s.cores {
+			if c.privPortFree < now {
+				c.privPortFree = now
+			}
+			c.privPortFree += engine.Cycle(n)
+			if c.privPortFree > horizon {
+				horizon = c.privPortFree
+			}
+		}
+	}
+	return horizon
+}
+
+// chargeSlicePort makes the slice's ports busy for n extra cycles.
+func (s *System) chargeSlicePort(slice, n int) {
+	now := s.eng.Now()
+	if s.slicePortFree[slice] < now {
+		s.slicePortFree[slice] = now
+	}
+	s.slicePortFree[slice] += engine.Cycle(n)
+}
+
+// chargeSlicePortIfAny is chargeSlicePort guarded for organizations
+// without slices (leader relay charges only exist there and for banks).
+func (s *System) chargeSlicePortIfAny(slice, n int) {
+	if s.slices == nil || slice >= len(s.slicePortFree) {
+		return
+	}
+	s.chargeSlicePort(slice, n)
+}
+
+// chargeBankPort makes a monolithic bank's port busy for n extra cycles.
+func (s *System) chargeBankPort(bank, n int) {
+	now := s.eng.Now()
+	if s.bankPortFree[bank] < now {
+		s.bankPortFree[bank] = now
+	}
+	s.bankPortFree[bank] += engine.Cycle(n)
+}

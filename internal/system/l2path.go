@@ -1,0 +1,473 @@
+package system
+
+import (
+	"nocstar/internal/energy"
+	"nocstar/internal/engine"
+	"nocstar/internal/noc"
+	"nocstar/internal/tlb"
+	"nocstar/internal/vm"
+)
+
+// accessL2 is the entry point of the last-level TLB access path: the
+// thread has missed its L1 TLB and stalls until the translation returns
+// (address translation is on the critical path of every L1 cache access).
+func (s *System) accessL2(th *thread, va vm.VirtAddr) {
+	s.ensureMapped(th.app, va)
+	start := s.eng.Now()
+	s.l2Accesses++
+	s.outstanding++
+	s.conc.Observe(s.outstanding)
+
+	// The thread resumes at done(); the *access* — the Fig. 5/6
+	// "outstanding shared L2 TLB access" window — ends at endAccess,
+	// when the response or miss message returns to the requester. A
+	// subsequent page walk stalls the thread but is not an outstanding
+	// L2 TLB access.
+	done := func() {
+		th.stall += uint64(s.eng.Now() - start)
+		s.threadLoop(th)
+	}
+
+	switch s.cfg.Org {
+	case Private:
+		s.privateAccess(th, va, start, done)
+	case MonolithicMesh, MonolithicSMART, MonolithicFixed:
+		s.monoAccess(th, va, start, done)
+	case DistributedMesh, IdealShared:
+		s.distAccess(th, va, start, done)
+	case Nocstar, NocstarIdeal:
+		s.nocstarAccess(th, va, start, done)
+	}
+}
+
+// endAccess closes the outstanding-access window opened in accessL2.
+// slice is the shared slice involved, or -1 for organizations without
+// per-slice tracking.
+func (s *System) endAccess(slice int) {
+	s.outstanding--
+	if slice >= 0 {
+		s.sliceEnd(slice)
+	}
+}
+
+// resumeWithEntry finishes a hit: install the translation in the L1 TLB
+// and release the thread.
+func (s *System) resumeWithEntry(th *thread, e tlb.Entry, done func()) {
+	th.core.l1.Insert(th.app.as.Ctx, e.VPN, e.Size, e.PFN)
+	done()
+}
+
+// resumeWithWalk finishes a miss after its walk: install in L1.
+func (s *System) resumeWithWalk(th *thread, va vm.VirtAddr, res vm.WalkResult, done func()) {
+	size := res.Size
+	th.core.l1.Insert(th.app.as.Ctx, va.VPN(size), size, uint64(res.PA)>>size.Shift())
+	done()
+}
+
+// performWalk runs a page-table walk at core c, invoking cb with the walk
+// result at its completion cycle.
+func (s *System) performWalk(c *core, a *app, va vm.VirtAddr, cb func(res vm.WalkResult)) {
+	lat, res, ok := c.walker.Walk(s.eng.Now(), a.as, va)
+	if !ok {
+		panic("system: walk of unmapped address (ensureMapped missing)")
+	}
+	s.walks++
+	s.eng.Schedule(engine.Cycle(lat), func() { cb(res) })
+}
+
+// insertTranslation installs a walked translation into the L2 structure
+// (private L2, monolithic array, or the given slice), plus the ±k
+// prefetch neighbours of Table III. Prefetched translations piggyback on
+// the PTE cache line the walk fetched, so they cost no extra walk; only
+// already-mapped neighbours can be prefetched.
+func (s *System) insertTranslation(th *thread, va vm.VirtAddr, res vm.WalkResult, slice int) {
+	a := th.app
+	size := res.Size
+	vpn := va.VPN(size)
+	pfn := uint64(res.PA) >> size.Shift()
+	s.insertOne(th, a, vpn, size, pfn, slice)
+
+	for k := 1; k <= s.cfg.PrefetchDegree; k++ {
+		for _, d := range [2]int64{int64(k), -int64(k)} {
+			nvpn := uint64(int64(vpn) + d)
+			nva := vm.VirtAddr(nvpn << size.Shift())
+			// The OS maps whole regions eagerly, so neighbouring PTEs
+			// exist even before the application touches those pages.
+			s.ensureMapped(a, nva)
+			pa, nsize, ok := a.as.Translate(nva)
+			if !ok || nsize != size {
+				continue
+			}
+			ns := slice
+			if s.slices != nil {
+				ns = s.sliceFor(th, nva)
+			}
+			s.insertOne(th, a, nvpn, size, uint64(pa)>>size.Shift(), ns)
+			s.prefetches++
+		}
+	}
+}
+
+// insertOne installs one translation into the organization's L2 store.
+func (s *System) insertOne(th *thread, a *app, vpn uint64, size vm.PageSize, pfn uint64, slice int) {
+	switch {
+	case th.core.privL2 != nil:
+		th.core.privL2.Insert(a.as.Ctx, vpn, size, pfn)
+	case s.mono != nil:
+		s.mono.Insert(a.as.Ctx, vpn, size, pfn)
+	case s.slices != nil:
+		s.slices[slice].Insert(a.as.Ctx, vpn, size, pfn)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Private L2 TLBs (Fig. 1a) — the baseline.
+
+func (s *System) privateAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
+	c := th.core
+	avail := start
+	if c.privPortFree > avail {
+		avail = c.privPortFree
+	}
+	c.privPortFree = avail + 1 // pipelined: one lookup starts per cycle
+	lookupDone := avail + engine.Cycle(s.sliceLat)
+
+	e, hit := c.privL2.Lookup(th.app.as.Ctx, va)
+	if hit {
+		s.l2Hits++
+		s.accessCycles += uint64(lookupDone - start)
+		s.hitCount++
+		s.eng.At(lookupDone, func() {
+			s.endAccess(-1)
+			s.resumeWithEntry(th, e, done)
+		})
+		return
+	}
+	s.l2Misses++
+	s.eng.At(lookupDone, func() {
+		s.endAccess(-1)
+		s.performWalk(c, th.app, va, func(res vm.WalkResult) {
+			s.insertTranslation(th, va, res, 0)
+			s.resumeWithWalk(th, va, res, done)
+		})
+	})
+}
+
+// ---------------------------------------------------------------------
+// Monolithic banked shared L2 TLB (Fig. 1c) over mesh / SMART / a forced
+// flat latency (Fig. 4).
+
+func (s *System) monoAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
+	bank := s.bankFor(va)
+	dst := s.bankNodes[bank]
+	src := th.core.node
+
+	var oneWay int
+	switch s.cfg.Org {
+	case MonolithicMesh:
+		oneWay = s.mesh.Latency(src, dst)
+	case MonolithicSMART:
+		oneWay = s.smart.Latency(src, dst)
+	case MonolithicFixed:
+		oneWay = 0 // folded into the forced access latency
+	}
+	hops := s.geo.Hops(src, dst)
+	s.meter.AddMessage(energy.MonolithicMessage(2*hops, 0))
+	s.netCycles += uint64(2 * oneWay)
+	s.remoteCount++
+
+	arrive := start + engine.Cycle(oneWay)
+	avail := arrive
+	if s.bankPortFree[bank] > avail {
+		avail = s.bankPortFree[bank]
+	}
+	s.bankPortFree[bank] = avail + bankServiceCycles
+	lat := s.monoLat
+	if s.cfg.Org == MonolithicFixed {
+		lat = s.cfg.FixedAccessLatency
+	}
+	lookupDone := avail + engine.Cycle(lat)
+
+	e, hit := s.mono.Lookup(th.app.as.Ctx, va)
+	if hit {
+		resume := lookupDone + engine.Cycle(oneWay)
+		s.l2Hits++
+		s.accessCycles += uint64(resume - start)
+		s.hitCount++
+		s.eng.At(resume, func() {
+			s.endAccess(-1)
+			s.resumeWithEntry(th, e, done)
+		})
+		return
+	}
+	s.l2Misses++
+	if s.cfg.Policy == WalkAtRemote {
+		remote := s.cores[int(dst)]
+		s.eng.At(lookupDone, func() {
+			remote.hier.Pollute(pollutionLines)
+			s.performWalk(remote, th.app, va, func(res vm.WalkResult) {
+				s.insertTranslation(th, va, res, 0)
+				s.eng.Schedule(engine.Cycle(oneWay), func() {
+					s.endAccess(-1)
+					s.resumeWithWalk(th, va, res, done)
+				})
+			})
+		})
+		return
+	}
+	// Walk at requester: miss message returns, requester walks, then an
+	// insert message flows back (off the critical path).
+	backAt := lookupDone + engine.Cycle(oneWay)
+	s.eng.At(backAt, func() {
+		s.endAccess(-1)
+		s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
+			s.insertTranslation(th, va, res, 0)
+			s.meter.AddMessage(energy.MonolithicMessage(hops, 0)) // insert msg
+			s.resumeWithWalk(th, va, res, done)
+		})
+	})
+}
+
+// bankServiceCycles is the initiation interval of one monolithic bank: a
+// multi-kiloentry array with a shared H-tree cannot accept a new lookup
+// every cycle the way a small slice can, which is the port contention the
+// paper's Section II-C3 charges against the monolithic organization.
+const bankServiceCycles = 8
+
+// pollutionLines is how many resident lines a foreign page walk displaces
+// in the slice-owner's caches under the remote-walk policy ("it pollutes
+// the local cache of the remote core (degrading performance)" — a mild,
+// steady pressure, not a flush).
+const pollutionLines = 2
+
+// ---------------------------------------------------------------------
+// Distributed shared slices over a multi-hop mesh (Fig. 1d), and the
+// zero-interconnect-latency "ideal" reference.
+
+func (s *System) distAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
+	slice := s.sliceFor(th, va)
+	s.sliceBegin(slice)
+
+	src := th.core.node
+	dst := noc.NodeID(slice)
+	oneWay := 0
+	if s.cfg.Org == DistributedMesh {
+		oneWay = s.mesh.Latency(src, dst)
+	}
+	if src == dst {
+		s.localSlice++
+	} else {
+		hops := s.geo.Hops(src, dst)
+		s.meter.AddMessage(energy.DistributedMessage(2*hops, 0))
+		s.netCycles += uint64(2 * oneWay)
+		s.remoteCount++
+	}
+
+	arrive := start + engine.Cycle(oneWay)
+	doneAt, e, hit := s.sliceLookup(th.app, va, slice, arrive)
+	if hit {
+		resume := doneAt + engine.Cycle(oneWay)
+		s.l2Hits++
+		s.accessCycles += uint64(resume - start)
+		s.hitCount++
+		s.eng.At(resume, func() {
+			s.endAccess(slice)
+			s.resumeWithEntry(th, e, done)
+		})
+		return
+	}
+	s.l2Misses++
+	if s.cfg.Policy == WalkAtRemote && src != dst {
+		remote := s.cores[slice]
+		s.eng.At(doneAt, func() {
+			remote.hier.Pollute(pollutionLines)
+			s.performWalk(remote, th.app, va, func(res vm.WalkResult) {
+				s.insertTranslation(th, va, res, slice)
+				s.eng.Schedule(engine.Cycle(oneWay), func() {
+					s.endAccess(slice)
+					s.resumeWithWalk(th, va, res, done)
+				})
+			})
+		})
+		return
+	}
+	backAt := doneAt + engine.Cycle(oneWay)
+	s.eng.At(backAt, func() {
+		s.endAccess(slice)
+		s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
+			s.insertTranslation(th, va, res, slice)
+			if src != dst {
+				s.meter.AddMessage(energy.DistributedMessage(s.geo.Hops(src, dst), 0))
+			}
+			s.resumeWithWalk(th, va, res, done)
+		})
+	})
+}
+
+// sliceLookup models the pipelined, ported slice array: a lookup may
+// begin no earlier than `earliest`, one new lookup starts per cycle, and
+// results return after the slice's SRAM latency.
+func (s *System) sliceLookup(a *app, va vm.VirtAddr, slice int, earliest engine.Cycle) (doneAt engine.Cycle, e tlb.Entry, hit bool) {
+	avail := earliest
+	if s.slicePortFree[slice] > avail {
+		avail = s.slicePortFree[slice]
+	}
+	s.slicePortFree[slice] = avail + 1
+	e, hit = s.slices[slice].Lookup(a.as.Ctx, va)
+	return avail + engine.Cycle(s.sliceLat), e, hit
+}
+
+// sliceBegin / sliceEnd maintain the Fig. 6-right per-slice concurrency
+// histogram.
+func (s *System) sliceBegin(slice int) {
+	s.sliceOut[slice]++
+	s.sliceConc.Observe(s.sliceOut[slice])
+}
+
+func (s *System) sliceEnd(slice int) { s.sliceOut[slice]-- }
+
+// ---------------------------------------------------------------------
+// NOCSTAR: distributed slices over the latchless circuit-switched fabric
+// (Section III; timeline of Fig. 10).
+
+func (s *System) nocstarAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
+	slice := s.sliceFor(th, va)
+	s.sliceBegin(slice)
+
+	src := th.core.node
+	dst := noc.NodeID(slice)
+	if src == dst {
+		// Local slice: identical to a private L2 TLB access (Fig. 11a
+		// "Case 1").
+		s.localSlice++
+		doneAt, e, hit := s.sliceLookup(th.app, va, slice, start)
+		if hit {
+			s.l2Hits++
+			s.accessCycles += uint64(doneAt - start)
+			s.hitCount++
+			s.eng.At(doneAt, func() {
+				s.endAccess(slice)
+				s.resumeWithEntry(th, e, done)
+			})
+			return
+		}
+		s.l2Misses++
+		s.eng.At(doneAt, func() {
+			s.endAccess(slice)
+			s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
+				s.insertTranslation(th, va, res, slice)
+				s.resumeWithWalk(th, va, res, done)
+			})
+		})
+		return
+	}
+
+	s.remoteCount++
+	hops := s.geo.Hops(src, dst)
+	s.meter.AddMessage(energy.NocstarMessage(2*hops, 0))
+
+	trav := s.fabric.TraversalCycles(hops)
+	hold := s.fabric.HoldCyclesOneWay(src, dst)
+	if s.cfg.Acquire == noc.RoundTripAcquire {
+		// Hold the path for the whole remote access: request traversal,
+		// estimated queue, lookup, response traversal.
+		hold = engine.Cycle(2*trav+s.sliceLat) + 2
+	}
+
+	s.fabric.RequestPath(src, dst, hold, func(gotTrav int) {
+		// Now() is the first traversal cycle; the message lands at the
+		// slice at the end of traversal, and the lookup may start the
+		// following cycle.
+		arrive := s.eng.Now() + engine.Cycle(gotTrav-1)
+		doneAt, e, hit := s.sliceLookup(th.app, va, slice, arrive+1)
+		if hit {
+			s.l2Hits++
+			s.sendNocstarResponse(dst, src, doneAt, func(back engine.Cycle) {
+				s.accessCycles += uint64(back - start)
+				s.hitCount++
+				s.eng.At(back, func() {
+					s.endAccess(slice)
+					s.resumeWithEntry(th, e, done)
+				})
+			})
+			return
+		}
+		s.l2Misses++
+		if s.cfg.Policy == WalkAtRemote {
+			remote := s.cores[slice]
+			s.eng.At(doneAt, func() {
+				remote.hier.Pollute(pollutionLines)
+				s.performWalk(remote, th.app, va, func(res vm.WalkResult) {
+					s.insertTranslation(th, va, res, slice)
+					s.sendNocstarResponse(dst, src, s.eng.Now(), func(back engine.Cycle) {
+						s.eng.At(back, func() {
+							s.endAccess(slice)
+							s.resumeWithWalk(th, va, res, done)
+						})
+					})
+				})
+			})
+			return
+		}
+		// Walk at requester: the miss message is the response.
+		s.sendNocstarResponse(dst, src, doneAt, func(back engine.Cycle) {
+			s.eng.At(back, func() {
+				s.endAccess(slice)
+				s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
+					s.insertTranslation(th, va, res, slice)
+					s.sendInsertMessage(src, dst)
+					s.resumeWithWalk(th, va, res, done)
+				})
+			})
+		})
+	})
+}
+
+// sendNocstarResponse delivers a response (or miss message) from the
+// slice back to the requester. readyAt is when the payload is available.
+// Under one-way acquisition, the response path is set up speculatively
+// during the slice lookup (Fig. 10), so an uncontended response departs
+// the cycle the lookup completes. Under round-trip acquisition the links
+// are already held; the response simply traverses and the path releases.
+func (s *System) sendNocstarResponse(from, to noc.NodeID, readyAt engine.Cycle, arrived func(back engine.Cycle)) {
+	trav := s.fabric.TraversalCycles(s.geo.Hops(from, to))
+	if s.cfg.Acquire == noc.RoundTripAcquire {
+		back := readyAt + engine.Cycle(trav)
+		s.eng.At(back, func() { s.fabric.Release(to, from) })
+		arrived(back)
+		return
+	}
+	issueAt := readyAt - 1 // speculative overlap with the lookup
+	if s.cfg.NoSpeculativeResponse {
+		issueAt = readyAt // arbitration only begins once the result is known
+	}
+	if issueAt < s.eng.Now() {
+		issueAt = s.eng.Now()
+	}
+	s.eng.At(issueAt, func() {
+		s.fabric.RequestPath(from, to, s.fabric.HoldCyclesOneWay(from, to), func(gotTrav int) {
+			back := s.eng.Now() + engine.Cycle(gotTrav-1)
+			if back < readyAt {
+				back = readyAt
+			}
+			arrived(back)
+		})
+	})
+}
+
+// sendInsertMessage ships a walked translation to its home slice, off the
+// thread's critical path: the message still occupies real links.
+func (s *System) sendInsertMessage(src, dst noc.NodeID) {
+	if src == dst {
+		return
+	}
+	s.meter.AddMessage(energy.NocstarMessage(s.geo.Hops(src, dst), 0))
+	s.fabric.RequestPath(src, dst, s.fabric.HoldCyclesOneWay(src, dst), func(int) {
+		// Charge the slice write port on arrival.
+		slice := int(dst)
+		if s.slicePortFree[slice] < s.eng.Now() {
+			s.slicePortFree[slice] = s.eng.Now()
+		}
+		s.slicePortFree[slice]++
+	})
+}

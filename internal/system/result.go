@@ -1,0 +1,137 @@
+package system
+
+import (
+	"nocstar/internal/energy"
+	"nocstar/internal/noc"
+	"nocstar/internal/ptw"
+	"nocstar/internal/stats"
+)
+
+// AppResult is one application's outcome within a run.
+type AppResult struct {
+	Name         string
+	Instructions uint64
+	// FinishCycle is when the app's slowest thread retired its budget.
+	FinishCycle uint64
+	// IPC is aggregate instructions / finish cycles.
+	IPC float64
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Org Org
+
+	// Cycles is the run's total simulated time (slowest thread).
+	Cycles uint64
+	// Instructions retired across all threads.
+	Instructions uint64
+	// IPC is aggregate Instructions/Cycles across the machine.
+	IPC float64
+
+	Apps []AppResult
+
+	// Translation-path event counts.
+	MemRefs     uint64
+	L1Misses    uint64
+	L2Accesses  uint64
+	L2Hits      uint64
+	L2Misses    uint64
+	Walks       uint64
+	LocalSlice  uint64 // L2 accesses that hit the local slice (no network)
+	Prefetches  uint64
+	Shootdowns  uint64 // invalidation messages delivered to slices
+	StallCycles uint64 // total translation stall cycles across threads
+
+	// AvgL2AccessCycles is the mean stall per L2 access (lookup +
+	// network + queueing, excluding walks).
+	AvgL2AccessCycles float64
+	// AvgNetCycles is the mean network round-trip portion per remote
+	// access.
+	AvgNetCycles float64
+
+	// Conc is the Fig. 5 histogram: concurrency observed at each shared
+	// L2 access. SliceConc is the Fig. 6-right per-slice variant.
+	Conc      stats.ConcurrencyHist
+	SliceConc stats.ConcurrencyHist
+
+	// Energy is the run's address-translation energy.
+	Energy energy.Meter
+
+	// Noc carries NOCSTAR fabric statistics (zero for other orgs).
+	Noc noc.NocstarStats
+	// PTW aggregates walker statistics across cores.
+	PTW ptw.Stats
+}
+
+// L1MissRate is misses per memory reference.
+func (r Result) L1MissRate() float64 {
+	if r.MemRefs == 0 {
+		return 0
+	}
+	return float64(r.L1Misses) / float64(r.MemRefs)
+}
+
+// L2MissRate is misses per L2 access.
+func (r Result) L2MissRate() float64 {
+	if r.L2Accesses == 0 {
+		return 0
+	}
+	return float64(r.L2Misses) / float64(r.L2Accesses)
+}
+
+// MPKI is L2 TLB misses per kilo-instruction.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.L2Misses) / float64(r.Instructions)
+}
+
+// SpeedupOver returns this run's speedup relative to a baseline run of
+// the same work (baseline cycles / these cycles).
+func (r Result) SpeedupOver(baseline Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// ThroughputSpeedupOver returns aggregate-IPC speedup versus a baseline,
+// the Fig. 18 "overall throughput" metric.
+func (r Result) ThroughputSpeedupOver(baseline Result) float64 {
+	if baseline.IPC == 0 {
+		return 0
+	}
+	return r.IPC / baseline.IPC
+}
+
+// WorstAppSpeedupOver returns the minimum per-app IPC speedup versus the
+// same app in the baseline run — Fig. 18's "minimum achieved speedup".
+func (r Result) WorstAppSpeedupOver(baseline Result) float64 {
+	worst := 0.0
+	for i, a := range r.Apps {
+		if i >= len(baseline.Apps) || baseline.Apps[i].IPC == 0 {
+			continue
+		}
+		s := a.IPC / baseline.Apps[i].IPC
+		if worst == 0 || s < worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// MissesEliminatedVs reports the fraction of the baseline's L2 TLB misses
+// this run avoids — the Fig. 2 metric (private vs shared).
+func (r Result) MissesEliminatedVs(baseline Result) float64 {
+	if baseline.L2Misses == 0 {
+		return 0
+	}
+	// Normalize per instruction in case instruction counts differ.
+	b := float64(baseline.L2Misses) / float64(baseline.Instructions)
+	c := float64(r.L2Misses) / float64(r.Instructions)
+	if c >= b {
+		return 0
+	}
+	return (b - c) / b
+}

@@ -1,0 +1,454 @@
+package system
+
+import (
+	"fmt"
+
+	"nocstar/internal/cache"
+	"nocstar/internal/energy"
+	"nocstar/internal/engine"
+	"nocstar/internal/noc"
+	"nocstar/internal/ptw"
+	"nocstar/internal/sram"
+	"nocstar/internal/stats"
+	"nocstar/internal/tlb"
+	"nocstar/internal/vm"
+	"nocstar/internal/workload"
+)
+
+// core is one tile: a core with its L1 TLBs, page-table walker, and cache
+// hierarchy, co-located with a shared-TLB slice in distributed designs.
+type core struct {
+	id     int
+	node   noc.NodeID
+	l1     *tlb.L1Group
+	walker *ptw.Walker
+	hier   *cache.Hierarchy
+	// privL2 is the per-core private L2 TLB (Private organization only).
+	privL2       *tlb.TLB
+	privPortFree engine.Cycle
+}
+
+// app is one running application.
+type app struct {
+	cfg     App
+	idx     int
+	as      *vm.AddressSpace
+	regions []workload.Region
+	// superLimit[i] is the page index within regions[i] below which the
+	// OS backs the range with transparent 2 MB pages.
+	superLimit []uint64
+
+	threadsLeft int
+	instrDone   uint64
+	finish      engine.Cycle
+}
+
+// thread is one (hyper)thread's execution state.
+type thread struct {
+	app  *app
+	core *core
+	gen  workload.Stream
+
+	refsLeft    uint64
+	cyclesPerRef float64
+	carry       float64
+	stall       uint64
+	finished    bool
+}
+
+// System is one configured machine mid-run.
+type System struct {
+	cfg Config
+	eng *engine.Engine
+	geo noc.Geometry
+	rng *engine.Rand
+
+	cores   []*core
+	apps    []*app
+	threads []*thread
+
+	// Shared last-level TLB state.
+	slices        []*tlb.TLB // distributed orgs: one per node
+	slicePortFree []engine.Cycle
+	mono          *tlb.TLB // monolithic orgs
+	bankPortFree  []engine.Cycle
+	bankNodes     []noc.NodeID
+	sliceLat      int // SRAM cycles of a slice / private L2
+	monoLat       int // SRAM cycles of a monolithic bank
+
+	fabric *noc.Nocstar
+	mesh   *noc.Mesh
+	smart  *noc.SMART
+
+	// Shootdown plumbing.
+	leaderOf   []int // core -> leader core
+	leaderFree []engine.Cycle
+
+	// Live counters.
+	outstanding  int
+	sliceOut     []int
+	conc         stats.ConcurrencyHist
+	sliceConc    stats.ConcurrencyHist
+	memRefs      uint64
+	l1Misses     uint64
+	l2Accesses   uint64
+	l2Hits       uint64
+	l2Misses     uint64
+	walks        uint64
+	localSlice   uint64
+	prefetches   uint64
+	shootdowns   uint64
+	accessCycles uint64 // lookup+net+queue cycles, hits only
+	hitCount     uint64
+	netCycles    uint64
+	remoteCount  uint64
+	meter        energy.Meter
+
+	threadsLive int
+}
+
+// maxCycles bounds a run as a safety net against model bugs.
+const maxCycles = engine.Cycle(2_000_000_000)
+
+// New builds a system from the configuration.
+func New(cfg Config) (*System, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg: cfg,
+		eng: engine.New(),
+		geo: noc.GridFor(cfg.Cores),
+		rng: engine.NewRand(cfg.Seed),
+	}
+
+	sizing := tlb.DefaultL1Sizing().Scale(cfg.L1Scale)
+	s.sliceLat = sram.AccessCycles(cfg.L2EntriesPerCore)
+
+	llc := cache.New(cache.LLCConfig()) // one physical LLC shared chip-wide
+	for i := 0; i < cfg.Cores; i++ {
+		hier := cache.WalkerHierarchyWithLLC(llc)
+		s.cores = append(s.cores, &core{
+			id:     i,
+			node:   noc.NodeID(i),
+			l1:     tlb.NewL1Group(sizing),
+			walker: ptw.New(cfg.PTW, hier),
+			hier:   hier,
+		})
+	}
+
+	switch cfg.Org {
+	case Private:
+		for _, c := range s.cores {
+			c.privL2 = tlb.New(tlb.Config{
+				Name:    fmt.Sprintf("privL2-%d", c.id),
+				Entries: cfg.L2EntriesPerCore,
+				Ways:    8,
+				Sizes:   []vm.PageSize{vm.Page4K, vm.Page2M},
+			})
+		}
+	case MonolithicMesh, MonolithicSMART, MonolithicFixed:
+		total := cfg.L2EntriesPerCore * cfg.Cores
+		s.mono = tlb.New(tlb.Config{
+			Name:       "monolithic",
+			Entries:    total,
+			Ways:       8,
+			Sizes:      []vm.PageSize{vm.Page4K, vm.Page2M},
+			MaxCtxWays: cfg.QoSMaxCtxWays,
+		})
+		// Banking multiplies ports but the monolithic structure is still
+		// one physical array: its lookup latency is the full-capacity
+		// latency (Fig. 4's 16-cycle SRAM for the 32x structure).
+		s.monoLat = sram.AccessCycles(total)
+		s.bankPortFree = make([]engine.Cycle, cfg.Banks)
+		// The monolithic structure sits at one end of the chip: banks
+		// spread along the bottom row (Section II-C2).
+		for b := 0; b < cfg.Banks; b++ {
+			col := (2*b + 1) * s.geo.Cols / (2 * cfg.Banks)
+			s.bankNodes = append(s.bankNodes, s.geo.Node(s.geo.Rows-1, col))
+		}
+		s.mesh = noc.NewMesh(noc.DefaultMeshConfig(s.geo))
+		s.smart = noc.NewSMART(noc.DefaultSMARTConfig(s.geo))
+	case DistributedMesh, Nocstar, NocstarIdeal, IdealShared:
+		for i := 0; i < cfg.Cores; i++ {
+			s.slices = append(s.slices, tlb.New(tlb.Config{
+				Name:       fmt.Sprintf("slice-%d", i),
+				Entries:    cfg.L2EntriesPerCore,
+				Ways:       8,
+				Sizes:      []vm.PageSize{vm.Page4K, vm.Page2M},
+				IndexHash:  true,
+				MaxCtxWays: cfg.QoSMaxCtxWays,
+			}))
+		}
+		s.slicePortFree = make([]engine.Cycle, cfg.Cores)
+		s.sliceOut = make([]int, cfg.Cores)
+		s.mesh = noc.NewMesh(noc.DefaultMeshConfig(s.geo))
+		if cfg.Org == Nocstar || cfg.Org == NocstarIdeal {
+			s.fabric = noc.NewNocstar(s.eng, noc.NocstarConfig{
+				Geometry: s.geo,
+				HPCmax:   cfg.HPCmax,
+				Ideal:    cfg.Org == NocstarIdeal,
+			})
+		}
+	default:
+		return nil, fmt.Errorf("system: unknown organization %v", cfg.Org)
+	}
+
+	// Shootdown invalidation leaders (Section III-G): core i reports to
+	// leader (i / groupSize) * groupSize.
+	s.leaderOf = make([]int, cfg.Cores)
+	s.leaderFree = make([]engine.Cycle, cfg.Cores)
+	group := cfg.Cores
+	if cfg.InvLeaders > 0 && cfg.InvLeaders < cfg.Cores {
+		group = (cfg.Cores + cfg.InvLeaders - 1) / cfg.InvLeaders
+	} else if cfg.InvLeaders == 0 {
+		group = 1 // every core is its own leader (direct sends)
+	}
+	for i := range s.leaderOf {
+		s.leaderOf[i] = (i / group) * group
+	}
+
+	// Applications, address spaces, threads.
+	nextCore := 0
+	for ai := range cfg.Apps {
+		acfg := cfg.Apps[ai]
+		a := &app{
+			cfg: acfg,
+			idx: ai,
+			as:  vm.NewAddressSpace(vm.ContextID(ai + 1)),
+		}
+		a.regions = acfg.Spec.Regions(acfg.Threads)
+		for _, r := range a.regions {
+			limit := uint64(0)
+			if cfg.THP {
+				// Align the THP boundary to whole 2 MB extents so no
+				// region mixes superpage and base-page backing within
+				// one page-table subtree.
+				limit = uint64(float64(r.Span)*acfg.Spec.SuperpageFrac) / 512 * 512
+			}
+			a.superLimit = append(a.superLimit, limit)
+		}
+		a.threadsLeft = acfg.Threads
+		s.apps = append(s.apps, a)
+
+		for t := 0; t < acfg.Threads; t++ {
+			c := s.cores[nextCore%cfg.Cores]
+			nextCore++
+			refs := uint64(float64(cfg.InstrPerThread) * acfg.Spec.MemRefPerInstr)
+			if refs == 0 {
+				refs = 1
+			}
+			var stream workload.Stream
+			if acfg.Streams != nil {
+				stream = acfg.Streams[t]
+			} else {
+				stream = workload.NewGenerator(acfg.Spec, acfg.Threads, t, s.rng.Split())
+			}
+			th := &thread{
+				app:          a,
+				core:         c,
+				gen:          stream,
+				refsLeft:     refs,
+				cyclesPerRef: acfg.Spec.BaseCPI / acfg.Spec.MemRefPerInstr,
+			}
+			s.threads = append(s.threads, th)
+		}
+	}
+	s.threadsLive = len(s.threads)
+	return s, nil
+}
+
+// Run executes the configured simulation to completion.
+func Run(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.run()
+}
+
+func (s *System) run() (Result, error) {
+	for _, th := range s.threads {
+		th := th
+		s.eng.Schedule(0, func() { s.threadLoop(th) })
+	}
+	s.startDisturbances()
+	s.eng.RunUntil(maxCycles)
+	if s.threadsLive > 0 {
+		return Result{}, fmt.Errorf("system: run exceeded %d cycles with %d threads live",
+			maxCycles, s.threadsLive)
+	}
+	return s.collect(), nil
+}
+
+// threadLoop advances a thread through memory references until the next
+// L1 TLB miss, then hands off to the L2 access path.
+func (s *System) threadLoop(th *thread) {
+	if th.finished {
+		return
+	}
+	ctx := th.app.as.Ctx
+	carry := th.carry
+	for th.refsLeft > 0 {
+		carry += th.cyclesPerRef
+		th.refsLeft--
+		va := th.gen.Next()
+		s.memRefs++
+		if _, ok := th.core.l1.Lookup(ctx, va); ok {
+			continue
+		}
+		s.l1Misses++
+		whole := engine.Cycle(carry)
+		th.carry = carry - float64(whole)
+		s.eng.Schedule(whole, func() { s.accessL2(th, va) })
+		return
+	}
+	th.carry = carry
+	s.finishThread(th, s.eng.Now()+engine.Cycle(carry))
+}
+
+// finishThread retires a thread and updates app accounting.
+func (s *System) finishThread(th *thread, at engine.Cycle) {
+	th.finished = true
+	s.threadsLive--
+	a := th.app
+	a.threadsLeft--
+	a.instrDone += s.cfg.InstrPerThread
+	if at > a.finish {
+		a.finish = at
+	}
+}
+
+// collect assembles the Result after the run drains.
+func (s *System) collect() Result {
+	r := Result{Org: s.cfg.Org}
+	for _, a := range s.apps {
+		ar := AppResult{
+			Name:         a.cfg.Spec.Name,
+			Instructions: a.instrDone,
+			FinishCycle:  uint64(a.finish),
+		}
+		if a.finish > 0 {
+			ar.IPC = float64(a.instrDone) / float64(a.finish)
+		}
+		r.Apps = append(r.Apps, ar)
+		r.Instructions += a.instrDone
+		if uint64(a.finish) > r.Cycles {
+			r.Cycles = uint64(a.finish)
+		}
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	r.MemRefs = s.memRefs
+	r.L1Misses = s.l1Misses
+	r.L2Accesses = s.l2Accesses
+	r.L2Hits = s.l2Hits
+	r.L2Misses = s.l2Misses
+	r.Walks = s.walks
+	r.LocalSlice = s.localSlice
+	r.Prefetches = s.prefetches
+	r.Shootdowns = s.shootdowns
+	for _, th := range s.threads {
+		r.StallCycles += th.stall
+	}
+	if s.hitCount > 0 {
+		r.AvgL2AccessCycles = float64(s.accessCycles) / float64(s.hitCount)
+	}
+	if s.remoteCount > 0 {
+		r.AvgNetCycles = float64(s.netCycles) / float64(s.remoteCount)
+	}
+	r.Conc = s.conc
+	r.SliceConc = s.sliceConc
+	if s.fabric != nil {
+		r.Noc = s.fabric.Stats()
+	}
+	for _, c := range s.cores {
+		w := c.walker.Stats()
+		r.PTW.Walks += w.Walks
+		r.PTW.TotalCycles += w.TotalCycles
+		r.PTW.QueueCycles += w.QueueCycles
+		r.PTW.PWCHits += w.PWCHits
+		r.PTW.LeafFromLLCOrMem += w.LeafFromLLCOrMem
+		for i := range w.MemRefsByLevel {
+			r.PTW.MemRefsByLevel[i] += w.MemRefsByLevel[i]
+		}
+	}
+	s.chargeEnergy(&r)
+	r.Energy = s.meter
+	return r
+}
+
+// chargeEnergy finalizes the run's energy meter.
+func (s *System) chargeEnergy(r *Result) {
+	s.meter.AddL1Lookups(r.MemRefs)
+	entries := s.cfg.L2EntriesPerCore
+	if s.mono != nil {
+		entries = s.mono.Config().Entries / s.cfg.Banks
+	}
+	s.meter.AddL2Lookups(r.L2Accesses, entries)
+	s.meter.AddWalkRefs(r.PTW.MemRefsByLevel)
+	totalEntries := s.cfg.Cores * (s.cfg.L2EntriesPerCore + 100) // + L1 arrays
+	s.meter.AddStatic(r.Cycles, totalEntries)
+}
+
+// mapSize returns the page size the OS backs va with for this app.
+func (a *app) mapSize(va vm.VirtAddr, thp bool) vm.PageSize {
+	if !thp {
+		return vm.Page4K
+	}
+	for i, reg := range a.regions {
+		if va >= reg.Base && va < reg.End() {
+			idx := uint64(va-reg.Base) / vm.Page4K.Bytes()
+			if idx < a.superLimit[i] {
+				return vm.Page2M
+			}
+			return vm.Page4K
+		}
+	}
+	return vm.Page4K
+}
+
+// ensureMapped demand-maps va at the OS-chosen size, falling back to a
+// base page if a superpage cannot be installed (a conflicting 4 KB
+// mapping already exists in the extent).
+func (s *System) ensureMapped(a *app, va vm.VirtAddr) {
+	a.as.EnsureMapped(va, a.mapSize(va, s.cfg.THP))
+	if _, _, ok := a.as.Translate(va); !ok {
+		a.as.EnsureMapped(va, vm.Page4K)
+	}
+}
+
+// mix is a 64-bit finalizer used for slice/bank selection so that
+// 2 MB-granular regions spread evenly (Section III-A "simple indexing
+// mechanism using bits from virtual address", hashed to avoid striding
+// artifacts of the synthetic layouts).
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// sliceFor returns the home slice of va. Selection uses 2 MB-granular
+// address bits so 4 KB and 2 MB translations of the same region share a
+// home and the requester needs no size information.
+func (s *System) sliceFor(th *thread, va vm.VirtAddr) int {
+	if th != nil && th.app.cfg.HammerSlice >= 0 {
+		return th.app.cfg.HammerSlice % s.cfg.Cores
+	}
+	return s.homeSlice(va)
+}
+
+// homeSlice is sliceFor without per-app redirection.
+func (s *System) homeSlice(va vm.VirtAddr) int {
+	return int(mix(uint64(va)>>21) % uint64(s.cfg.Cores))
+}
+
+// bankFor returns the monolithic bank of va.
+func (s *System) bankFor(va vm.VirtAddr) int {
+	return int(mix(uint64(va)>>21) % uint64(s.cfg.Banks))
+}

@@ -1,0 +1,287 @@
+// Package tlb implements the TLB structures of the paper: set-associative
+// translation arrays whose entries carry a valid bit, a context ID, and
+// the translation (Section III-A), split per-page-size L1 TLBs matching
+// the Haswell organization, and unified dual-page-size L2 TLBs used as
+// private L2 TLBs, monolithic shared banks, or distributed shared slices.
+package tlb
+
+import (
+	"fmt"
+
+	"nocstar/internal/vm"
+)
+
+// Entry is one TLB entry.
+type Entry struct {
+	Valid bool
+	Ctx   vm.ContextID
+	VPN   uint64 // page number at Size granularity
+	Size  vm.PageSize
+	PFN   uint64 // physical frame number at Size granularity
+	lru   uint64
+}
+
+// Config describes a TLB array.
+type Config struct {
+	Name    string
+	Entries int           // total entry count
+	Ways    int           // associativity; Ways >= Entries means fully associative
+	Sizes   []vm.PageSize // page sizes this array can hold
+	// IndexHash folds high VPN bits into the set index. Distributed
+	// shared slices need it: slice selection consumes low address bits,
+	// so plain modulo indexing inside a slice would alias entire page
+	// ranges onto a few sets.
+	IndexHash bool
+	// MaxCtxWays caps how many ways of each set a single context may
+	// occupy (0 = no cap). This is the QoS/fairness partitioning the
+	// paper leaves as future work: it stops one aggressive application
+	// from monopolizing shared slices in multiprogrammed mixes.
+	MaxCtxWays int
+}
+
+// Stats counts TLB events since construction.
+type Stats struct {
+	Lookups     uint64
+	Hits        uint64
+	Misses      uint64
+	Inserts     uint64
+	Evictions   uint64
+	Invalidated uint64
+}
+
+// MissRate returns misses/lookups, or 0 with no lookups.
+func (s Stats) MissRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Lookups)
+}
+
+// TLB is a set-associative translation array. Entries of different page
+// sizes coexist in the same physical array (Haswell's unified L2 TLB holds
+// 4K and 2M translations concurrently); lookups probe once per supported
+// size, as skewed/unified TLBs do in hardware.
+type TLB struct {
+	cfg     Config
+	sets    [][]Entry
+	ways    int
+	nsets   uint64
+	setMask uint64 // nsets-1 when nsets is a power of two, else 0
+	tick    uint64
+	stats   Stats
+	sizes   []vm.PageSize
+}
+
+// New returns an empty TLB. Entries must be divisible into power-of-two
+// sets by Ways (after clamping Ways to Entries); New panics on a malformed
+// geometry since that is a configuration bug.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 {
+		panic("tlb: Entries must be positive")
+	}
+	ways := cfg.Ways
+	if ways <= 0 || ways > cfg.Entries {
+		ways = cfg.Entries
+	}
+	nsets := cfg.Entries / ways
+	if nsets*ways != cfg.Entries {
+		panic(fmt.Sprintf("tlb: %d entries not divisible by %d ways", cfg.Entries, ways))
+	}
+	sizes := cfg.Sizes
+	if len(sizes) == 0 {
+		sizes = []vm.PageSize{vm.Page4K}
+	}
+	sets := make([][]Entry, nsets)
+	for i := range sets {
+		sets[i] = make([]Entry, ways)
+	}
+	t := &TLB{
+		cfg:   cfg,
+		sets:  sets,
+		ways:  ways,
+		nsets: uint64(nsets),
+		sizes: sizes,
+	}
+	if nsets&(nsets-1) == 0 {
+		t.setMask = uint64(nsets - 1)
+	}
+	return t
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Sets reports the number of sets.
+func (t *TLB) Sets() int { return len(t.sets) }
+
+// Ways reports the effective associativity.
+func (t *TLB) Ways() int { return t.ways }
+
+// Stats returns a copy of the event counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// setFor returns the set index for a page number. The paper's design uses
+// simple modulo indexing on low-order VPN bits (Section III-E); with
+// IndexHash the higher bits are XOR-folded in first.
+func (t *TLB) setFor(vpn uint64) uint64 {
+	if t.cfg.IndexHash {
+		vpn ^= vpn >> 13
+		vpn ^= vpn >> 7
+	}
+	if t.setMask != 0 || t.nsets == 1 {
+		return vpn & t.setMask
+	}
+	return vpn % t.nsets
+}
+
+// Lookup probes the array for the translation of va in context ctx,
+// trying every supported page size. It returns the matching entry.
+func (t *TLB) Lookup(ctx vm.ContextID, va vm.VirtAddr) (Entry, bool) {
+	t.stats.Lookups++
+	t.tick++
+	for _, size := range t.sizes {
+		vpn := va.VPN(size)
+		set := t.sets[t.setFor(vpn)]
+		for i := range set {
+			e := &set[i]
+			if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+				e.lru = t.tick
+				t.stats.Hits++
+				return *e, true
+			}
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe reports whether the translation is present without touching LRU
+// state or counting statistics (used by invariants and shootdown checks).
+func (t *TLB) Probe(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
+	set := t.sets[t.setFor(vpn)]
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs a translation, replacing the set's LRU entry when full.
+// Inserting an already-present translation refreshes it in place. When a
+// MaxCtxWays quota is configured and the inserting context is at its
+// cap, the victim is the context's own LRU entry, preserving other
+// applications' occupancy. It reports whether a valid entry was evicted.
+func (t *TLB) Insert(ctx vm.ContextID, vpn uint64, size vm.PageSize, pfn uint64) bool {
+	t.stats.Inserts++
+	t.tick++
+	set := t.sets[t.setFor(vpn)]
+	victim := 0
+	ctxWays := 0
+	ownLRU := -1
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+			e.PFN = pfn
+			e.lru = t.tick
+			return false
+		}
+		if !e.Valid {
+			victim = i
+			// Keep scanning: the entry might exist in a later way.
+			continue
+		}
+		if e.Ctx == ctx {
+			ctxWays++
+			if ownLRU < 0 || e.lru < set[ownLRU].lru {
+				ownLRU = i
+			}
+		}
+		if set[victim].Valid && e.lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if t.cfg.MaxCtxWays > 0 && ctxWays >= t.cfg.MaxCtxWays && set[victim].Valid &&
+		set[victim].Ctx != ctx && ownLRU >= 0 {
+		victim = ownLRU
+	}
+	evicted := set[victim].Valid
+	if evicted {
+		t.stats.Evictions++
+	}
+	set[victim] = Entry{Valid: true, Ctx: ctx, VPN: vpn, Size: size, PFN: pfn, lru: t.tick}
+	return evicted
+}
+
+// InvalidatePage removes the translation of (ctx, vpn, size) if present,
+// reporting whether an entry was invalidated.
+func (t *TLB) InvalidatePage(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
+	set := t.sets[t.setFor(vpn)]
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+			e.Valid = false
+			t.stats.Invalidated++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateContext removes every translation belonging to ctx, returning
+// the number invalidated (an x86 context-switch flush for shared TLBs).
+func (t *TLB) InvalidateContext(ctx vm.ContextID) int {
+	n := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			e := &t.sets[s][w]
+			if e.Valid && e.Ctx == ctx {
+				e.Valid = false
+				n++
+			}
+		}
+	}
+	t.stats.Invalidated += uint64(n)
+	return n
+}
+
+// Flush removes everything, returning the number of entries dropped.
+func (t *TLB) Flush() int {
+	n := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].Valid {
+				n++
+			}
+			t.sets[s][w] = Entry{}
+		}
+	}
+	t.stats.Invalidated += uint64(n)
+	return n
+}
+
+// Apply executes a vm.Invalidation against this array, returning the
+// number of entries removed.
+func (t *TLB) Apply(inv vm.Invalidation) int {
+	if inv.FullFlush {
+		return t.InvalidateContext(inv.Ctx)
+	}
+	if t.InvalidatePage(inv.Ctx, inv.VPN, inv.Size) {
+		return 1
+	}
+	return 0
+}
+
+// Occupancy reports the number of valid entries.
+func (t *TLB) Occupancy() int {
+	n := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

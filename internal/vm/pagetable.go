@@ -1,0 +1,283 @@
+package vm
+
+import "fmt"
+
+// Page-table geometry: x86-64 4-level radix. Each level indexes 9 bits of
+// the virtual address; leaves may appear at the PT (4K), PD (2M), or PDPT
+// (1G) levels.
+const (
+	ptLevels     = 4
+	ptFanout     = 512
+	ptIndexBits  = 9
+	ptIndexMask  = ptFanout - 1
+	pteBytes     = 8
+	vaLevelShift = 12 // level-0 (PT) indexing starts above the 4K offset
+)
+
+// levelShift returns the VA shift of the index for the given level, where
+// level 3 is the root (PML4) and level 0 is the leaf PT.
+func levelShift(level int) uint {
+	return uint(vaLevelShift + ptIndexBits*level)
+}
+
+// levelIndex extracts the radix index of va at the given level.
+func levelIndex(va VirtAddr, level int) int {
+	return int(uint64(va)>>levelShift(level)) & ptIndexMask
+}
+
+// pte is an in-memory page table entry, packed like hardware PTEs so a
+// fully materialized table page costs 4 KiB: bit 0 = present, bit 1 =
+// leaf, bits 2+ = PFN.
+type pte uint64
+
+const (
+	ptePresent pte = 1 << 0
+	pteLeaf    pte = 1 << 1
+	ptePFNShift    = 2
+)
+
+func (e pte) present() bool { return e&ptePresent != 0 }
+func (e pte) leaf() bool    { return e&pteLeaf != 0 }
+func (e pte) pfn() uint64   { return uint64(e) >> ptePFNShift }
+
+func makeLeafPTE(pfn uint64) pte { return pte(pfn<<ptePFNShift) | ptePresent | pteLeaf }
+
+// ptNode is one page of a page table. Children are allocated lazily:
+// leaf-level PT pages never allocate the pointer array.
+type ptNode struct {
+	frame    uint64 // physical frame holding this table page
+	entries  [ptFanout]pte
+	children []*ptNode // nil until the first child is linked
+}
+
+// child returns the child node at idx, or nil.
+func (n *ptNode) child(idx int) *ptNode {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[idx]
+}
+
+// setChild links a child node at idx.
+func (n *ptNode) setChild(idx int, c *ptNode) {
+	if n.children == nil {
+		n.children = make([]*ptNode, ptFanout)
+	}
+	n.children[idx] = c
+}
+
+// FrameAlloc hands out physical frames. The zero value allocates from
+// frame 1 upward (frame 0 is reserved so a zero PhysAddr is never valid).
+type FrameAlloc struct {
+	next uint64
+}
+
+// NewFrameAlloc returns an allocator whose first frame is start. Distinct
+// address spaces are given disjoint ranges by the OS model.
+func NewFrameAlloc(start uint64) *FrameAlloc {
+	if start == 0 {
+		start = 1
+	}
+	return &FrameAlloc{next: start}
+}
+
+// Alloc returns a fresh frame number.
+func (a *FrameAlloc) Alloc() uint64 {
+	if a.next == 0 {
+		a.next = 1
+	}
+	f := a.next
+	a.next++
+	return f
+}
+
+// Allocated reports how many frames have been handed out.
+func (a *FrameAlloc) Allocated(start uint64) uint64 {
+	if start == 0 {
+		start = 1
+	}
+	if a.next <= start {
+		return 0
+	}
+	return a.next - start
+}
+
+// WalkResult describes a completed page-table walk: the translation and
+// the physical address of the PTE read at each level, root first. The
+// page-table walker uses those addresses to charge cache-hierarchy
+// latency per level.
+type WalkResult struct {
+	PA       PhysAddr
+	Size     PageSize
+	Levels   int              // number of memory references the walk made
+	PTEAddrs [ptLevels]PhysAddr
+}
+
+// PageTable is a 4-level x86-64-style page table.
+type PageTable struct {
+	root  *ptNode
+	alloc *FrameAlloc
+	// mapped counts leaf mappings by size, for accounting.
+	mapped [3]uint64
+}
+
+// NewPageTable returns an empty table drawing table pages from alloc.
+func NewPageTable(alloc *FrameAlloc) *PageTable {
+	if alloc == nil {
+		alloc = NewFrameAlloc(1)
+	}
+	return &PageTable{
+		root:  &ptNode{frame: alloc.Alloc()},
+		alloc: alloc,
+	}
+}
+
+// leafLevel returns the radix level at which a page of size s terminates.
+func leafLevel(s PageSize) int {
+	switch s {
+	case Page4K:
+		return 0
+	case Page2M:
+		return 1
+	case Page1G:
+		return 2
+	}
+	panic("vm: invalid page size")
+}
+
+// Map installs va -> pa at page size s. Both addresses must be aligned to
+// s. Mapping over an existing leaf of a different size is an error;
+// remapping the same page updates it in place.
+func (pt *PageTable) Map(va VirtAddr, pa PhysAddr, s PageSize) error {
+	if va.Offset(s) != 0 {
+		return fmt.Errorf("vm: Map: va %#x not %s-aligned", uint64(va), s)
+	}
+	if uint64(pa)&(s.Bytes()-1) != 0 {
+		return fmt.Errorf("vm: Map: pa %#x not %s-aligned", uint64(pa), s)
+	}
+	target := leafLevel(s)
+	n := pt.root
+	for level := ptLevels - 1; level > target; level-- {
+		idx := levelIndex(va, level)
+		e := &n.entries[idx]
+		if e.present() && e.leaf() {
+			return fmt.Errorf("vm: Map: va %#x covered by existing %s leaf at level %d",
+				uint64(va), leafSizeAtLevel(level), level)
+		}
+		if n.child(idx) == nil {
+			n.setChild(idx, &ptNode{frame: pt.alloc.Alloc()})
+			*e = ptePresent
+		}
+		n = n.child(idx)
+	}
+	idx := levelIndex(va, target)
+	e := &n.entries[idx]
+	if e.present() && !e.leaf() {
+		return fmt.Errorf("vm: Map: va %#x: %s leaf would overwrite a page-table subtree",
+			uint64(va), s)
+	}
+	if !e.present() {
+		pt.mapped[s]++
+	}
+	*e = makeLeafPTE(uint64(pa) >> s.Shift())
+	return nil
+}
+
+// leafSizeAtLevel maps a radix level to the page size of a leaf there.
+func leafSizeAtLevel(level int) PageSize {
+	switch level {
+	case 0:
+		return Page4K
+	case 1:
+		return Page2M
+	case 2:
+		return Page1G
+	}
+	panic("vm: no leaf size at level")
+}
+
+// Unmap removes the leaf mapping covering va at exactly size s. It reports
+// whether a mapping was removed.
+func (pt *PageTable) Unmap(va VirtAddr, s PageSize) bool {
+	target := leafLevel(s)
+	n := pt.root
+	for level := ptLevels - 1; level > target; level-- {
+		idx := levelIndex(va, level)
+		if n.child(idx) == nil {
+			return false
+		}
+		n = n.child(idx)
+	}
+	idx := levelIndex(va, target)
+	e := &n.entries[idx]
+	if !e.present() || !e.leaf() {
+		return false
+	}
+	*e = 0
+	pt.mapped[s]--
+	return true
+}
+
+// Walk translates va, returning the full walk trace. ok is false when no
+// mapping covers va (a page fault in a real system).
+func (pt *PageTable) Walk(va VirtAddr) (WalkResult, bool) {
+	var res WalkResult
+	n := pt.root
+	for level := ptLevels - 1; level >= 0; level-- {
+		idx := levelIndex(va, level)
+		e := n.entries[idx]
+		res.PTEAddrs[res.Levels] = PhysAddr(n.frame*FrameSize + uint64(idx)*pteBytes)
+		res.Levels++
+		if !e.present() {
+			return res, false
+		}
+		if e.leaf() {
+			size := leafSizeAtLevel(level)
+			res.Size = size
+			res.PA = PhysAddr(e.pfn()<<size.Shift() | uint64(va.Offset(size)))
+			return res, true
+		}
+		n = n.child(idx)
+	}
+	return res, false
+}
+
+// Translate is a convenience wrapper returning just the physical address.
+func (pt *PageTable) Translate(va VirtAddr) (PhysAddr, PageSize, bool) {
+	res, ok := pt.Walk(va)
+	if !ok {
+		return 0, Page4K, false
+	}
+	return res.PA, res.Size, true
+}
+
+// DropEmptyPT removes the leaf-level page-table page covering va when it
+// holds no present entries, clearing the parent PD slot so a 2M leaf can
+// be installed there. It reports whether a table page was removed. This is
+// what an OS does when collapsing base pages into a superpage.
+func (pt *PageTable) DropEmptyPT(va VirtAddr) bool {
+	n := pt.root
+	for level := ptLevels - 1; level > 1; level-- {
+		idx := levelIndex(va, level)
+		if n.child(idx) == nil {
+			return false
+		}
+		n = n.child(idx)
+	}
+	idx := levelIndex(va, 1)
+	child := n.child(idx)
+	if child == nil {
+		return false
+	}
+	for i := range child.entries {
+		if child.entries[i].present() {
+			return false
+		}
+	}
+	n.setChild(idx, nil)
+	n.entries[idx] = 0
+	return true
+}
+
+// MappedCount reports the number of leaf mappings at size s.
+func (pt *PageTable) MappedCount(s PageSize) uint64 { return pt.mapped[s] }

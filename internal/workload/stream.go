@@ -1,0 +1,13 @@
+package workload
+
+import "nocstar/internal/vm"
+
+// Stream is a source of one thread's virtual-address references. The
+// synthetic Generator implements it, as does a trace replayer — the
+// simulator consumes either interchangeably, mirroring how the paper's
+// Simics-based infrastructure can run live or from captured traces.
+type Stream interface {
+	Next() vm.VirtAddr
+}
+
+var _ Stream = (*Generator)(nil)

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"testing"
+
+	"nocstar/internal/engine"
+	"nocstar/internal/vm"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 11 {
+		t.Fatalf("suite has %d workloads, want 11", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if seen[s.Name] {
+			t.Fatalf("duplicate workload %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.FootprintPages == 0 || s.MemRefPerInstr <= 0 || s.BaseCPI <= 0 {
+			t.Fatalf("workload %q has degenerate parameters: %+v", s.Name, s)
+		}
+		if s.SharedFrac < 0 || s.SharedFrac > 1 || s.SuperpageFrac < 0 || s.SuperpageFrac > 1 {
+			t.Fatalf("workload %q has out-of-range fractions", s.Name)
+		}
+	}
+	for _, name := range []string{"graph500", "canneal", "xsbench", "gups", "redis"} {
+		if !seen[name] {
+			t.Fatalf("paper workload %q missing", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("gups")
+	if !ok || s.Name != "gups" {
+		t.Fatal("ByName(gups) failed")
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Fatal("ByName invented a workload")
+	}
+	if len(Names()) != 11 {
+		t.Fatal("Names() length wrong")
+	}
+}
+
+func TestRegionsPartition(t *testing.T) {
+	s, _ := ByName("canneal")
+	regions := s.Regions(8)
+	if len(regions) != 9 {
+		t.Fatalf("regions = %d, want shared + 8 private", len(regions))
+	}
+	// Regions must not overlap.
+	for i, a := range regions {
+		for j, b := range regions {
+			if i >= j {
+				continue
+			}
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratorAddressesInRegions(t *testing.T) {
+	s, _ := ByName("graph500")
+	g := NewGenerator(s, 8, 3, engine.NewRand(1))
+	regions := s.Regions(8)
+	inAny := func(va vm.VirtAddr) bool {
+		for _, r := range regions {
+			if va >= r.Base && va < r.End() {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 20000; i++ {
+		va := g.Next()
+		if !inAny(va) {
+			t.Fatalf("address %#x outside all regions", uint64(va))
+		}
+	}
+}
+
+func TestGeneratorThreadPrivacy(t *testing.T) {
+	// Two threads' private draws must never collide; shared draws must
+	// overlap heavily.
+	s, _ := ByName("olio")
+	g0 := NewGenerator(s, 8, 0, engine.NewRand(1))
+	g1 := NewGenerator(s, 8, 1, engine.NewRand(2))
+	pages0 := map[uint64]bool{}
+	sharedLimit := uint64(sharedBase)/4096 + uint64(float64(s.FootprintPages)*s.SharedFrac)*SpreadFactor
+	for i := 0; i < 20000; i++ {
+		pages0[uint64(g0.Next())/4096] = true
+	}
+	sharedOverlap, privateCollision := 0, 0
+	for i := 0; i < 20000; i++ {
+		p := uint64(g1.Next()) / 4096
+		if !pages0[p] {
+			continue
+		}
+		if p < sharedLimit {
+			sharedOverlap++
+		} else {
+			privateCollision++
+		}
+	}
+	if privateCollision != 0 {
+		t.Fatalf("%d private-page collisions between threads", privateCollision)
+	}
+	if sharedOverlap == 0 {
+		t.Fatal("threads never overlapped on the shared region")
+	}
+}
+
+func TestGeneratorTemporalLocality(t *testing.T) {
+	// With RepeatProb ~0.9 the distinct-page rate must be far below 1.
+	s, _ := ByName("graph500")
+	g := NewGenerator(s, 8, 0, engine.NewRand(7))
+	distinct := map[uint64]bool{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		distinct[uint64(g.Next())/4096] = true
+	}
+	rate := float64(len(distinct)) / n
+	if rate > 0.2 {
+		t.Fatalf("distinct-page rate %.3f too high for RepeatProb %.2f", rate, s.RepeatProb)
+	}
+	if rate < 0.001 {
+		t.Fatalf("distinct-page rate %.4f degenerate", rate)
+	}
+}
+
+func TestGeneratorSkew(t *testing.T) {
+	// redis (theta 0.9) must concentrate accesses far more than gups
+	// (theta 0, mostly uniform cold).
+	count := func(name string) float64 {
+		s, _ := ByName(name)
+		g := NewGenerator(s, 8, 0, engine.NewRand(3))
+		freq := map[uint64]int{}
+		const n = 30000
+		for i := 0; i < n; i++ {
+			freq[uint64(g.Next())/4096]++
+		}
+		max := 0
+		for _, c := range freq {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / n
+	}
+	if count("redis") <= count("gups") {
+		t.Fatal("redis not more skewed than gups")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	s, _ := ByName("mongodb")
+	a := NewGenerator(s, 4, 2, engine.NewRand(42))
+	b := NewGenerator(s, 4, 2, engine.NewRand(42))
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("generator not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestSplitSmallFootprints(t *testing.T) {
+	s := Spec{Name: "tiny", FootprintPages: 4, SharedFrac: 0.5}
+	shared, private := s.split(64)
+	if shared < 1 || private < 1 {
+		t.Fatalf("split degenerate: %d %d", shared, private)
+	}
+	// Zero threads must not panic.
+	shared, private = s.split(0)
+	if shared < 1 || private < 1 {
+		t.Fatal("split with 0 threads degenerate")
+	}
+}
+
+func TestUniformSpec(t *testing.T) {
+	u := Uniform("storm", 5000)
+	if u.FootprintPages != 5000 || u.SharedFrac != 1.0 {
+		t.Fatalf("uniform spec = %+v", u)
+	}
+	g := NewGenerator(u, 4, 0, engine.NewRand(5))
+	seen := map[uint64]bool{}
+	for i := 0; i < 30000; i++ {
+		seen[uint64(g.Next())/4096] = true
+	}
+	// Uniform over 5000 pages: should touch most of them.
+	if len(seen) < 3000 {
+		t.Fatalf("uniform generator touched only %d/5000 pages", len(seen))
+	}
+}
+
+func TestClampTheta(t *testing.T) {
+	if clampTheta(-1) != 0 || clampTheta(2) != 0.99 || clampTheta(0.5) != 0.5 {
+		t.Fatal("clampTheta wrong")
+	}
+}
+
+func TestSpecAccessor(t *testing.T) {
+	s, _ := ByName("gups")
+	g := NewGenerator(s, 1, 0, engine.NewRand(1))
+	if g.Spec().Name != "gups" {
+		t.Fatal("Spec() accessor wrong")
+	}
+}

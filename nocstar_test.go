@@ -1,0 +1,65 @@
+package nocstar_test
+
+import (
+	"strings"
+	"testing"
+
+	"nocstar"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	spec, ok := nocstar.WorkloadByName("canneal")
+	if !ok {
+		t.Fatal("canneal missing")
+	}
+	mk := func(org nocstar.Org) nocstar.Config {
+		return nocstar.Config{
+			Org:            org,
+			Cores:          8,
+			Apps:           []nocstar.App{{Spec: spec, Threads: 8, HammerSlice: -1}},
+			InstrPerThread: 20_000,
+			Seed:           1,
+		}
+	}
+	baseline, err := nocstar.Run(mk(nocstar.Private))
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := nocstar.Run(mk(nocstar.Nocstar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := result.SpeedupOver(baseline); s < 1.0 {
+		t.Fatalf("NOCSTAR speedup %.3f < 1", s)
+	}
+}
+
+func TestWorkloadsExposed(t *testing.T) {
+	if len(nocstar.Workloads()) != 11 {
+		t.Fatal("suite size wrong")
+	}
+	u := nocstar.UniformWorkload("x", 100)
+	if u.FootprintPages != 100 {
+		t.Fatal("uniform workload wrong")
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(nocstar.Experiments()) != 24 {
+		t.Fatalf("experiments = %d", len(nocstar.Experiments()))
+	}
+	opts := nocstar.DefaultExperimentOptions()
+	if opts.Instr == 0 {
+		t.Fatal("default options degenerate")
+	}
+	out, err := nocstar.RunExperiment("fig3", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 3") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if _, err := nocstar.RunExperiment("nope", opts); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-engine ci clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector permanently covers the parallel runner and every
+# driver that submits through it.
+race:
+	$(GO) test -race ./...
+
+# Short smoke at benchOptions() scale: representative figures plus the
+# engine event-queue microbenchmarks (watch allocs/op: the typed 4-ary
+# heap must stay allocation-free in steady state).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig16Left$$|BenchmarkFig11c$$' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkScheduleRun' -benchtime 1s -benchmem ./internal/engine/
+
+bench-engine:
+	$(GO) test -run xxx -bench . -benchtime 2s -benchmem ./internal/engine/
+
+ci: build vet race bench
+
+clean:
+	$(GO) clean ./...

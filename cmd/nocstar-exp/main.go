@@ -5,7 +5,7 @@
 //	nocstar-exp -list
 //	nocstar-exp fig12 fig13
 //	nocstar-exp -instr 250000 -cores 16,32 fig14
-//	nocstar-exp all
+//	nocstar-exp -j 8 all
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"nocstar/internal/experiments"
+	"nocstar/internal/runner"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 		combos    = flag.Int("combos", 0, "limit Fig. 18 combinations (0 = all 330)")
 		cores     = flag.String("cores", "", "comma-separated core counts for scaling experiments")
 		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV data series")
+		parallel  = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS); output is byte-identical at any setting")
+		quiet     = flag.Bool("quiet", false, "suppress the progress line on stderr")
 	)
 	flag.Parse()
 
@@ -49,7 +52,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Instr: *instr, Seed: *seed, Combos: *combos}
+	opts := experiments.Options{Instr: *instr, Seed: *seed, Combos: *combos, Parallelism: *parallel}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
@@ -71,7 +74,9 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
+		stop := startProgress(e.ID, *quiet)
 		res := e.Run(opts)
+		stop()
 		fmt.Print(res.Render())
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
 		if *csvDir != "" {
@@ -84,5 +89,51 @@ func main() {
 				fmt.Printf("[wrote %s]\n\n", path)
 			}
 		}
+	}
+}
+
+// startProgress periodically reports the experiment's simulation progress
+// (runs completed / submitted so far, and an ETA for the runs already
+// queued) on stderr. The returned stop function clears the line.
+func startProgress(id string, quiet bool) (stop func()) {
+	if quiet {
+		return func() {}
+	}
+	base := runner.Default().Progress()
+	begin := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(1 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				fmt.Fprintf(os.Stderr, "\r\033[K")
+				return
+			case <-tick.C:
+				p := runner.Default().Progress()
+				completed := p.Completed - base.Completed
+				submitted := p.Submitted - base.Submitted
+				deduped := p.Deduped - base.Deduped
+				line := fmt.Sprintf("[%s] %d/%d runs", id, completed, submitted)
+				if deduped > 0 {
+					line += fmt.Sprintf(" (+%d deduped)", deduped)
+				}
+				elapsed := time.Since(begin)
+				line += fmt.Sprintf(", %s elapsed", elapsed.Round(time.Second))
+				if completed > 0 && submitted > completed {
+					eta := time.Duration(float64(elapsed) / float64(completed) *
+						float64(submitted-completed))
+					line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+				}
+				fmt.Fprintf(os.Stderr, "\r\033[K%s", line)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }

@@ -1,0 +1,67 @@
+package engine
+
+import "testing"
+
+// The event-queue benchmarks use the classic "hold" model: a fixed
+// population of self-rescheduling events churns through the queue, so
+// steady-state Push/Pop cost dominates. Two delay distributions cover the
+// simulator's real access patterns: uniform (timing wheels of in-flight
+// messages) and skewed (bursts of same-cycle events with a long tail of
+// far-future timeouts, the shape TLB shootdown storms produce).
+
+const benchHoldWidth = 4096
+
+func benchmarkScheduleRun(b *testing.B, next func(*Rand) Cycle) {
+	b.ReportAllocs()
+	e := New()
+	r := NewRand(1)
+	n := b.N
+	var hold func()
+	hold = func() {
+		if n <= 0 {
+			return
+		}
+		n--
+		e.Schedule(next(r), hold)
+	}
+	width := benchHoldWidth
+	if width > b.N {
+		width = b.N
+	}
+	for i := 0; i < width; i++ {
+		e.Schedule(next(r), hold)
+	}
+	e.Run()
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.Run("uniform", func(b *testing.B) {
+		benchmarkScheduleRun(b, func(r *Rand) Cycle {
+			return Cycle(1 + r.Intn(1000))
+		})
+	})
+	b.Run("skewed", func(b *testing.B) {
+		benchmarkScheduleRun(b, func(r *Rand) Cycle {
+			// 90% of events land within the next few cycles; the rest
+			// model far-future timeouts.
+			if r.Float64() < 0.9 {
+				return Cycle(r.Intn(4))
+			}
+			return Cycle(1 + r.Intn(5000))
+		})
+	})
+}
+
+// BenchmarkSchedulePushPop isolates queue maintenance: fill then drain,
+// no rescheduling.
+func BenchmarkSchedulePushPop(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRand(7)
+	for i := 0; i < b.N; i += benchHoldWidth {
+		e := New()
+		for j := 0; j < benchHoldWidth; j++ {
+			e.Schedule(Cycle(r.Intn(10000)), func() {})
+		}
+		e.Run()
+	}
+}

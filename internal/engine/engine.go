@@ -10,8 +10,6 @@
 // decision is made.
 package engine
 
-import "container/heap"
-
 // Cycle is a point in simulated time, measured in clock cycles.
 type Cycle uint64
 
@@ -22,24 +20,89 @@ type event struct {
 	fn   func()
 }
 
-// eventHeap orders events by (when, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// less orders events by (when, seq): cycle first, FIFO within a cycle.
+func (e event) less(o event) bool {
+	if e.when != o.when {
+		return e.when < o.when
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// eventQueue is a typed 4-ary min-heap of events ordered by (when, seq).
+//
+// It replaces container/heap, which boxes every event through interface{}
+// on each Push and Pop — two heap allocations per scheduled event on the
+// simulator's hottest path. The typed heap keeps events inline in one
+// slice (zero steady-state allocations) and the 4-ary layout halves the
+// tree depth, trading slightly more comparisons per level for far fewer
+// cache-missing levels.
+type eventQueue struct {
+	ev []event
+}
+
+const heapArity = 4
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// head returns the minimum event without removing it. Only valid when
+// len() > 0.
+func (q *eventQueue) head() *event { return &q.ev[0] }
+
+// push adds an event and restores the heap by sifting it up.
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !q.ev[i].less(q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. Only valid when len() > 0.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev[n] = event{} // release the callback for GC
+	q.ev = q.ev[:n]
+	if n > 0 {
+		q.siftDown(last)
+	}
+	return top
+}
+
+// siftDown places e, displaced from the root, back into heap position.
+func (q *eventQueue) siftDown(e event) {
+	ev := q.ev
+	n := len(ev)
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest child.
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if ev[c].less(ev[min]) {
+				min = c
+			}
+		}
+		if !ev[min].less(e) {
+			break
+		}
+		ev[i] = ev[min]
+		i = min
+	}
+	ev[i] = e
 }
 
 // Engine is a discrete-event simulator clock. The zero value is not ready
@@ -47,7 +110,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now        Cycle
 	seq        uint64
-	events     eventHeap
+	events     eventQueue
 	finalizers []func() // end-of-cycle actions for the current cycle
 	processed  uint64
 }
@@ -64,7 +127,7 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports how many events are scheduled but not yet executed.
-func (e *Engine) Pending() int { return len(e.events) + len(e.finalizers) }
+func (e *Engine) Pending() int { return e.events.len() + len(e.finalizers) }
 
 // Schedule runs fn delay cycles from now. A delay of zero runs fn later in
 // the current cycle, before any end-of-cycle finalizers fire.
@@ -79,7 +142,7 @@ func (e *Engine) At(when Cycle, fn func()) {
 		panic("engine: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+	e.events.push(event{when: when, seq: e.seq, fn: fn})
 }
 
 // AtEndOfCycle runs fn after every ordinary event of the current cycle has
@@ -93,11 +156,11 @@ func (e *Engine) AtEndOfCycle(fn func()) {
 // step executes every event and finalizer for the next populated cycle.
 // It reports false when nothing remains.
 func (e *Engine) step() bool {
-	if len(e.events) == 0 && len(e.finalizers) == 0 {
+	if e.events.len() == 0 && len(e.finalizers) == 0 {
 		return false
 	}
-	if len(e.events) > 0 {
-		next := e.events[0].when
+	if e.events.len() > 0 {
+		next := e.events.head().when
 		if next > e.now && len(e.finalizers) == 0 {
 			e.now = next
 		}
@@ -106,8 +169,8 @@ func (e *Engine) step() bool {
 	// finalizers until the cycle produces no further work.
 	for {
 		ran := false
-		for len(e.events) > 0 && e.events[0].when == e.now {
-			ev := heap.Pop(&e.events).(event)
+		for e.events.len() > 0 && e.events.head().when == e.now {
+			ev := e.events.pop()
 			e.processed++
 			ev.fn()
 			ran = true
@@ -138,10 +201,10 @@ func (e *Engine) Run() {
 // event, whichever is later).
 func (e *Engine) RunUntil(limit Cycle) {
 	for {
-		if len(e.events) == 0 && len(e.finalizers) == 0 {
+		if e.events.len() == 0 && len(e.finalizers) == 0 {
 			return
 		}
-		if len(e.finalizers) == 0 && e.events[0].when > limit {
+		if len(e.finalizers) == 0 && e.events.head().when > limit {
 			return
 		}
 		e.step()

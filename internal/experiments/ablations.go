@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"nocstar/internal/runner"
 	"nocstar/internal/stats"
 	"nocstar/internal/system"
 	"nocstar/internal/workload"
@@ -27,17 +28,23 @@ type HPCResult struct {
 func AblationHPC(o Options) HPCResult {
 	res := HPCResult{HPC: []int{2, 4, 8, 16, 0}}
 	const cores = 64
-	for _, hpc := range res.HPC {
-		var vs []float64
+	type pair struct{ baseline, run *runner.Future }
+	runs := make([][]pair, len(res.HPC))
+	for i, hpc := range res.HPC {
 		for _, spec := range o.suite() {
-			priv := o.privateBaseline(spec, cores, false)
 			cfg := o.baseConfig(system.Nocstar, spec, cores, false)
 			cfg.L2EntriesPerCore = 0
 			cfg.HPCmax = hpc
 			if hpc == 0 {
 				cfg.HPCmax = 1 << 20 // effectively unbounded
 			}
-			vs = append(vs, run(cfg).SpeedupOver(priv))
+			runs[i] = append(runs[i], pair{o.baselineFuture(spec, cores, false), o.submit(cfg)})
+		}
+	}
+	for _, hpcRuns := range runs {
+		var vs []float64
+		for _, p := range hpcRuns {
+			vs = append(vs, p.run.Wait().SpeedupOver(p.baseline.Wait()))
 		}
 		res.Speedup = append(res.Speedup, stats.Mean64(vs))
 	}
@@ -71,16 +78,21 @@ type SpeculationResult struct {
 // AblationSpeculation measures both modes at 32 cores.
 func AblationSpeculation(o Options) SpeculationResult {
 	const cores = 32
-	var spec, demand []float64
+	type trio struct{ baseline, spec, demand *runner.Future }
+	var runs []trio
 	for _, w := range o.suite() {
-		priv := o.privateBaseline(w, cores, false)
 		cfg := o.baseConfig(system.Nocstar, w, cores, false)
 		cfg.L2EntriesPerCore = 0
-		spec = append(spec, run(cfg).SpeedupOver(priv))
 		cfg2 := o.baseConfig(system.Nocstar, w, cores, false)
 		cfg2.L2EntriesPerCore = 0
 		cfg2.NoSpeculativeResponse = true
-		demand = append(demand, run(cfg2).SpeedupOver(priv))
+		runs = append(runs, trio{o.baselineFuture(w, cores, false), o.submit(cfg), o.submit(cfg2)})
+	}
+	var spec, demand []float64
+	for _, t := range runs {
+		priv := t.baseline.Wait()
+		spec = append(spec, t.spec.Wait().SpeedupOver(priv))
+		demand = append(demand, t.demand.Wait().SpeedupOver(priv))
 	}
 	return SpeculationResult{
 		Speculative: stats.Mean64(spec),
@@ -135,9 +147,10 @@ func AblationQoS(o Options) QoSResult {
 			Seed:             o.Seed,
 		}
 	}
-	priv := run(mk(system.Private, 0))
-	free := run(mk(system.Nocstar, 0))
-	qos := run(mk(system.Nocstar, 5)) // 5 of 8 ways per tenant
+	privF := o.submit(mk(system.Private, 0))
+	freeF := o.submit(mk(system.Nocstar, 0))
+	qosF := o.submit(mk(system.Nocstar, 5)) // 5 of 8 ways per tenant
+	priv, free, qos := privF.Wait(), freeF.Wait(), qosF.Wait()
 
 	ratio := func(r system.Result, i int) float64 {
 		return r.Apps[i].IPC / priv.Apps[i].IPC

@@ -6,6 +6,7 @@ import (
 
 	"nocstar/internal/energy"
 	"nocstar/internal/noc"
+	"nocstar/internal/runner"
 	"nocstar/internal/sram"
 	"nocstar/internal/stats"
 )
@@ -74,7 +75,8 @@ type Fig11aResult struct {
 
 // Fig11a computes total access latency (SRAM lookup + network) per hop
 // count for the monolithic, distributed, and NOCSTAR (HPCmax 4/8/16)
-// designs at the 32-core scale.
+// designs at the 32-core scale. The per-design series are independent, so
+// they fan out on the shared pool and join in design order.
 func Fig11a() Fig11aResult {
 	res := Fig11aResult{
 		Hops:    []int{0, 1, 2, 4, 6, 8, 10, 12},
@@ -84,23 +86,33 @@ func Fig11a() Fig11aResult {
 	monoLat := sram.AccessCycles(32 * 1024)
 	mesh := noc.NewMesh(noc.DefaultMeshConfig(noc.GridFor(32)))
 
-	add := func(name string, f func(h int) int) {
-		res.Designs = append(res.Designs, name)
-		for _, h := range res.Hops {
-			res.Latency[name] = append(res.Latency[name], f(h))
-		}
+	type design struct {
+		name string
+		f    func(h int) int
 	}
-	add("Monolithic", func(h int) int { return monoLat + mesh.LatencyForHops(h) })
-	add("Distributed", func(h int) int { return sliceLat + mesh.LatencyForHops(h) })
+	designs := []design{
+		{"Monolithic", func(h int) int { return monoLat + mesh.LatencyForHops(h) }},
+		{"Distributed", func(h int) int { return sliceLat + mesh.LatencyForHops(h) }},
+	}
 	for _, hpc := range []int{4, 8, 16} {
-		hpc := hpc
 		ns := noc.NewNocstar(nil, noc.NocstarConfig{Geometry: noc.GridFor(32), HPCmax: hpc})
-		add(fmt.Sprintf("NOCSTAR-HPC%d", hpc), func(h int) int {
+		designs = append(designs, design{fmt.Sprintf("NOCSTAR-HPC%d", hpc), func(h int) int {
 			if h == 0 {
 				return sliceLat
 			}
 			return sliceLat + 1 + ns.TraversalCycles(h) // setup + traversal
-		})
+		}})
+	}
+	series := runner.Map(runner.Default(), designs, func(d design) []int {
+		out := make([]int, 0, len(res.Hops))
+		for _, h := range res.Hops {
+			out = append(out, d.f(h))
+		}
+		return out
+	})
+	for i, d := range designs {
+		res.Designs = append(res.Designs, d.name)
+		res.Latency[d.name] = series[i]
 	}
 	return res
 }

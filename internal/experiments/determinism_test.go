@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"nocstar/internal/runner"
+	"nocstar/internal/system"
+	"nocstar/internal/workload"
+)
+
+// The engine promises bit-for-bit reproducibility: equal configs produce
+// equal Results. These tests pin that contract under the typed 4-ary
+// event heap and the parallel worker pool, and require the experiment
+// drivers' rendered output to be byte-identical between -j 1 and -j N.
+
+func TestRunDeterminism(t *testing.T) {
+	spec, _ := workload.ByName("graph500")
+	cfg := system.Config{
+		Org:            system.Nocstar,
+		Cores:          32,
+		Apps:           []system.App{{Spec: spec, Threads: 32, HammerSlice: -1}},
+		InstrPerThread: 10_000,
+		Seed:           7,
+	}
+	a, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two direct runs of the same config diverged")
+	}
+	// The same config through a parallel pool, twice, racing against
+	// unrelated runs on the same pool.
+	pool := runner.New(4)
+	other := cfg
+	other.Seed = 8
+	noise := pool.Submit(other)
+	c := pool.Submit(cfg).Wait()
+	d := pool.Submit(cfg).Wait()
+	noise.Wait()
+	if !reflect.DeepEqual(a, c) || !reflect.DeepEqual(a, d) {
+		t.Fatal("pooled run diverged from direct run")
+	}
+}
+
+// Two full drivers rendered at -j 1 and at -j 6 must produce identical
+// bytes (the acceptance contract for every driver; Fig. 12 exercises the
+// speedup-grid path and Fig. 16 left the focus-grid path, which between
+// them cover the baseline cache, in-flight dedup, and ordered joins).
+func TestRenderDeterministicAcrossParallelism(t *testing.T) {
+	base := Options{
+		Instr:      15_000,
+		Seed:       1,
+		Workloads:  []string{"canneal", "gups"},
+		CoreCounts: []int{16, 32},
+	}
+	serial := base
+	serial.Parallelism = 1
+	par := base
+	par.Parallelism = 6
+
+	if a, b := Fig12(serial).Render(), Fig12(par).Render(); a != b {
+		t.Fatalf("Fig12 output differs between -j 1 and -j 6:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if a, b := Fig16Left(serial).Render(), Fig16Left(par).Render(); a != b {
+		t.Fatalf("Fig16Left output differs between -j 1 and -j 6:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	serial.Combos = 3
+	par.Combos = 3
+	if a, b := Fig18(serial).Render(), Fig18(par).Render(); a != b {
+		t.Fatalf("Fig18 output differs between -j 1 and -j 6:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

@@ -6,9 +6,9 @@
 package experiments
 
 import (
-	"fmt"
 	"sort"
 
+	"nocstar/internal/runner"
 	"nocstar/internal/system"
 	"nocstar/internal/workload"
 )
@@ -27,6 +27,10 @@ type Options struct {
 	// CoreCounts overrides the scaling experiments' core counts
 	// (nil = the paper's 16/32/64).
 	CoreCounts []int
+	// Parallelism bounds how many simulations run concurrently
+	// (0 = GOMAXPROCS). Each run is a self-contained deterministic
+	// simulation, so rendered output is byte-identical at any setting.
+	Parallelism int
 }
 
 // coreCounts returns the core-count sweep.
@@ -62,10 +66,7 @@ func (o Options) suite() []workload.Spec {
 func (o Options) focusSuite() []workload.Spec {
 	focus := []string{"canneal", "graph500", "gups", "xsbench"}
 	if len(o.Workloads) > 0 {
-		focus = nil
-		for _, name := range o.Workloads {
-			focus = append(focus, name)
-		}
+		focus = o.Workloads
 	}
 	var out []workload.Spec
 	for _, name := range focus {
@@ -89,37 +90,31 @@ func (o Options) baseConfig(org system.Org, spec workload.Spec, cores int, thp b
 	}
 }
 
-// run executes a config, panicking on configuration errors (experiment
-// configs are code, not user input).
-func run(cfg system.Config) system.Result {
-	r, err := system.Run(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
+// pool returns the process-wide runner resized to o.Parallelism. All
+// drivers submit their runs through it: identical in-flight configs are
+// deduplicated, and private baselines are memoized across experiments.
+func (o Options) pool() *runner.Runner {
+	r := runner.Default()
+	r.SetParallelism(o.Parallelism)
 	return r
 }
 
-// baselineKey caches private-baseline runs shared across experiments.
-type baselineKey struct {
-	name  string
-	cores int
-	thp   bool
-	instr uint64
-	seed  int64
+// submit schedules a config on the pool.
+func (o Options) submit(cfg system.Config) *runner.Future {
+	return o.pool().Submit(cfg)
 }
 
-var baselineCache = map[baselineKey]system.Result{}
+// baselineFuture schedules (or retrieves the memoized) private-L2-TLB run
+// every speedup is measured against. The pool's memo cache replaces the
+// old package-level baselineCache map, which had no synchronization.
+func (o Options) baselineFuture(spec workload.Spec, cores int, thp bool) *runner.Future {
+	return o.pool().SubmitCached(o.baseConfig(system.Private, spec, cores, thp))
+}
 
-// privateBaseline returns (and caches) the private-L2-TLB run every
-// speedup is measured against.
+// privateBaseline is baselineFuture for call sites that need the result
+// immediately.
 func (o Options) privateBaseline(spec workload.Spec, cores int, thp bool) system.Result {
-	key := baselineKey{spec.Name, cores, thp, o.Instr, o.Seed}
-	if r, ok := baselineCache[key]; ok {
-		return r
-	}
-	r := run(o.baseConfig(system.Private, spec, cores, thp))
-	baselineCache[key] = r
-	return r
+	return o.baselineFuture(spec, cores, thp).Wait()
 }
 
 // sortedKeys returns map keys in sorted order for deterministic output.

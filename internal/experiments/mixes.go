@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"nocstar/internal/runner"
 	"nocstar/internal/stats"
 	"nocstar/internal/system"
 	"nocstar/internal/workload"
@@ -46,6 +47,14 @@ func Fig18(o Options) Fig18Result {
 		combos = combos[:o.Combos]
 	}
 	res := Fig18Result{Orgs: []string{"Monolithic", "Distributed", "NOCSTAR"}}
+	// Submit every combination's private and shared runs up front, then
+	// join in the deterministic combination order.
+	type comboRuns struct {
+		names []string
+		priv  *runner.Future
+		orgs  []*runner.Future // indexed like res.Orgs
+	}
+	var pending []comboRuns
 	for _, idx := range combos {
 		apps := make([]system.App, 4)
 		names := make([]string, 4)
@@ -62,14 +71,21 @@ func Fig18(o Options) Fig18Result {
 				Seed:           o.Seed,
 			}
 		}
-		priv := run(mkConfig(system.Private))
+		cr := comboRuns{names: names, priv: o.submit(mkConfig(system.Private))}
+		for _, name := range res.Orgs {
+			cr.orgs = append(cr.orgs, o.submit(mkConfig(fig18Orgs[name])))
+		}
+		pending = append(pending, cr)
+	}
+	for _, cr := range pending {
+		priv := cr.priv.Wait()
 		combo := Fig18Combo{
-			Apps:       names,
+			Apps:       cr.names,
 			Throughput: map[string]float64{},
 			Worst:      map[string]float64{},
 		}
-		for _, name := range res.Orgs {
-			r := run(mkConfig(fig18Orgs[name]))
+		for i, name := range res.Orgs {
+			r := cr.orgs[i].Wait()
 			combo.Throughput[name] = r.ThroughputSpeedupOver(priv)
 			combo.Worst[name] = r.WorstAppSpeedupOver(priv)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"nocstar/internal/runner"
 	"nocstar/internal/stats"
 	"nocstar/internal/system"
 )
@@ -26,14 +27,23 @@ func Fig2(o Options) Fig2Result {
 		Cores:      []int{16, 32, 64},
 		Eliminated: map[string]map[int]float64{},
 	}
+	type cell struct {
+		name            string
+		cores           int
+		baseline, share *runner.Future
+	}
+	var cells []cell
 	for _, spec := range o.suite() {
 		res.Workloads = append(res.Workloads, spec.Name)
 		res.Eliminated[spec.Name] = map[int]float64{}
 		for _, cores := range res.Cores {
-			priv := o.privateBaseline(spec, cores, false)
-			shared := run(o.baseConfig(system.IdealShared, spec, cores, false))
-			res.Eliminated[spec.Name][cores] = 100 * shared.MissesEliminatedVs(priv)
+			cells = append(cells, cell{spec.Name, cores,
+				o.baselineFuture(spec, cores, false),
+				o.submit(o.baseConfig(system.IdealShared, spec, cores, false))})
 		}
+	}
+	for _, c := range cells {
+		res.Eliminated[c.name][c.cores] = 100 * c.share.Wait().MissesEliminatedVs(c.baseline.Wait())
 	}
 	return res
 }
@@ -77,10 +87,14 @@ func Fig5(o Options) Fig5Result {
 	for _, b := range stats.ConcurrencyBuckets {
 		res.Buckets = append(res.Buckets, b.Label)
 	}
+	var futs []*runner.Future
 	for _, spec := range o.suite() {
 		res.Workloads = append(res.Workloads, spec.Name)
-		r := run(o.baseConfig(system.Nocstar, spec, 32, false))
-		res.Fractions[spec.Name] = r.Conc.Fractions()
+		futs = append(futs, o.submit(o.baseConfig(system.Nocstar, spec, 32, false)))
+	}
+	for i, name := range res.Workloads {
+		r := futs[i].Wait()
+		res.Fractions[name] = r.Conc.Fractions()
 	}
 	return res
 }
@@ -123,8 +137,8 @@ func Fig6(o Options) Fig6Result {
 		res.Buckets = append(res.Buckets, b.Label)
 	}
 
-	avgConc := func(cores int, l1Scale float64, perSlice bool) []float64 {
-		var agg stats.ConcurrencyHist
+	submitConc := func(cores int, l1Scale float64) []*runner.Future {
+		var futs []*runner.Future
 		for _, spec := range o.suite() {
 			cfg := o.baseConfig(system.Nocstar, spec, cores, false)
 			cfg.L1Scale = l1Scale
@@ -132,7 +146,14 @@ func Fig6(o Options) Fig6Result {
 				// Keep total simulated work constant across core counts.
 				cfg.InstrPerThread = o.Instr * 32 / uint64(cores)
 			}
-			r := run(cfg)
+			futs = append(futs, o.submit(cfg))
+		}
+		return futs
+	}
+	joinConc := func(futs []*runner.Future, perSlice bool) []float64 {
+		var agg stats.ConcurrencyHist
+		for _, f := range futs {
+			r := f.Wait()
 			if perSlice {
 				agg.Merge(&r.SliceConc)
 			} else {
@@ -155,14 +176,24 @@ func Fig6(o Options) Fig6Result {
 		{"256cores", 256, 1},
 		{"512cores", 512, 1},
 	}
-	for _, c := range left {
-		res.LeftLabels = append(res.LeftLabels, c.label)
-		res.Left[c.label] = avgConc(c.cores, c.scale, false)
+	// Submit both panels' runs before joining any of them.
+	leftFuts := make([][]*runner.Future, len(left))
+	for i, c := range left {
+		leftFuts[i] = submitConc(c.cores, c.scale)
 	}
-	for _, slices := range []int{32, 64, 128, 256, 512} {
+	sliceCounts := []int{32, 64, 128, 256, 512}
+	rightFuts := make([][]*runner.Future, len(sliceCounts))
+	for i, slices := range sliceCounts {
+		rightFuts[i] = submitConc(slices, 1)
+	}
+	for i, c := range left {
+		res.LeftLabels = append(res.LeftLabels, c.label)
+		res.Left[c.label] = joinConc(leftFuts[i], false)
+	}
+	for i, slices := range sliceCounts {
 		label := fmt.Sprintf("%dslices", slices)
 		res.RightLabels = append(res.RightLabels, label)
-		res.Right[label] = avgConc(slices, 1, true)
+		res.Right[label] = joinConc(rightFuts[i], true)
 	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 
 	"nocstar/internal/engine"
 	"nocstar/internal/noc"
+	"nocstar/internal/runner"
 	"nocstar/internal/stats"
 )
 
@@ -81,11 +82,18 @@ func Fig11c(o Options) Fig11cResult {
 	if cycles < 2000 {
 		cycles = 2000
 	}
-	for _, rate := range []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4} {
+	// Each injection-rate point is an independent fabric simulation; fan
+	// them out on the pool and join in rate order.
+	rates := []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4}
+	type point struct{ lat, free float64 }
+	points := runner.Map(o.pool(), rates, func(rate float64) point {
 		lat, free := Fig11cPoint(64, rate, cycles, o.Seed)
+		return point{lat, free}
+	})
+	for i, rate := range rates {
 		res.Rates = append(res.Rates, rate)
-		res.NocstarLat = append(res.NocstarLat, lat)
-		res.NoContention = append(res.NoContention, 100*free)
+		res.NocstarLat = append(res.NocstarLat, points[i].lat)
+		res.NoContention = append(res.NoContention, 100*points[i].free)
 		res.MeshLat = append(res.MeshLat, meshAvg)
 	}
 	return res

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"nocstar/internal/energy"
+	"nocstar/internal/runner"
 	"nocstar/internal/stats"
 	"nocstar/internal/system"
 )
@@ -56,8 +57,10 @@ func (g SpeedupGrid) MinMax(config string) (lo, hi float64) {
 	return stats.MinMax(vs)
 }
 
-// speedupGrid runs each (workload, config) pair against the cached
-// private baseline.
+// speedupGrid runs each (workload, config) pair against the memoized
+// private baseline. All runs are submitted to the pool up front and
+// joined in submission order, so the grid is identical to the serial
+// path at any parallelism.
 func speedupGrid(o Options, title string, cores int, thp bool,
 	configs []string, build func(name string, cfg *system.Config)) SpeedupGrid {
 	g := SpeedupGrid{
@@ -65,15 +68,23 @@ func speedupGrid(o Options, title string, cores int, thp bool,
 		Configs: configs,
 		Speedup: map[string]map[string]float64{},
 	}
+	type cell struct {
+		workload, config string
+		baseline, run    *runner.Future
+	}
+	var cells []cell
 	for _, spec := range o.suite() {
 		g.Workloads = append(g.Workloads, spec.Name)
 		g.Speedup[spec.Name] = map[string]float64{}
-		priv := o.privateBaseline(spec, cores, thp)
+		priv := o.baselineFuture(spec, cores, thp)
 		for _, name := range configs {
 			cfg := o.baseConfig(system.Private, spec, cores, thp)
 			build(name, &cfg)
-			g.Speedup[spec.Name][name] = run(cfg).SpeedupOver(priv)
+			cells = append(cells, cell{spec.Name, name, priv, o.submit(cfg)})
 		}
+	}
+	for _, c := range cells {
+		g.Speedup[c.workload][c.config] = c.run.Wait().SpeedupOver(c.baseline.Wait())
 	}
 	return g
 }
@@ -142,16 +153,27 @@ func Fig14(o Options) Fig14Result {
 	orgs := []string{"Monolithic", "Distributed", "NOCSTAR"}
 	for _, cores := range o.coreCounts() {
 		grids := figPerf(o, "", cores, true)
+		// Submit every energy run of this core count before joining any.
+		type enRun struct {
+			baseline, run *runner.Future
+		}
+		energyRuns := map[string][]enRun{}
+		for _, org := range orgs {
+			for _, spec := range o.suite() {
+				cfg := o.baseConfig(orgConfigs[org], spec, cores, true)
+				cfg.L2EntriesPerCore = 0
+				energyRuns[org] = append(energyRuns[org],
+					enRun{o.baselineFuture(spec, cores, true), o.submit(cfg)})
+			}
+		}
 		for _, org := range orgs {
 			lo, hi := grids.MinMax(org)
 			row := Fig14Row{Cores: cores, Org: org, Min: lo, Avg: grids.Average(org), Max: hi}
 			// Energy: average percent saved across the suite.
 			var saved []float64
-			for _, spec := range o.suite() {
-				priv := o.privateBaseline(spec, cores, true)
-				cfg := o.baseConfig(orgConfigs[org], spec, cores, true)
-				cfg.L2EntriesPerCore = 0
-				r := run(cfg)
+			for _, er := range energyRuns[org] {
+				priv := er.baseline.Wait()
+				r := er.run.Wait()
 				saved = append(saved, energy.PercentSaved(&r.Energy, &priv.Energy))
 			}
 			row.EnergySaved = stats.Mean64(saved)

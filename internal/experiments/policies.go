@@ -5,6 +5,7 @@ import (
 
 	"nocstar/internal/noc"
 	"nocstar/internal/ptw"
+	"nocstar/internal/runner"
 	"nocstar/internal/stats"
 	"nocstar/internal/system"
 )
@@ -62,18 +63,27 @@ func runFocus(o Options, title string, cores []int, variants []string,
 	for _, s := range specs {
 		g.Workloads = append(g.Workloads, s.Name)
 	}
+	type cell struct {
+		cores         int
+		variant, name string
+		baseline, run *runner.Future
+	}
+	var cells []cell
 	for _, c := range cores {
 		g.Speedup[c] = map[string]map[string]float64{}
 		for _, v := range variants {
 			g.Speedup[c][v] = map[string]float64{}
 			for _, spec := range specs {
-				priv := o.privateBaseline(spec, c, false)
 				cfg := o.baseConfig(system.Nocstar, spec, c, false)
 				cfg.L2EntriesPerCore = 0
 				build(v, c, &cfg)
-				g.Speedup[c][v][spec.Name] = run(cfg).SpeedupOver(priv)
+				cells = append(cells, cell{c, v, spec.Name,
+					o.baselineFuture(spec, c, false), o.submit(cfg)})
 			}
 		}
+	}
+	for _, cl := range cells {
+		g.Speedup[cl.cores][cl.variant][cl.name] = cl.run.Wait().SpeedupOver(cl.baseline.Wait())
 	}
 	return g
 }
@@ -187,21 +197,41 @@ func Table3(o Options) Table3Result {
 		{"Distributed", system.DistributedMesh},
 		{"NOCSTAR", system.Nocstar},
 	}
+	// Submit every scenario's baselines and organization runs before
+	// joining any: scenario baselines and shared-org runs are mutually
+	// independent.
+	type scenarioRuns struct {
+		baselines map[string]*runner.Future
+		orgRuns   [][]*runner.Future // [org][workload]
+	}
+	var pending []scenarioRuns
 	for _, sc := range table3Scenarios {
+		sr := scenarioRuns{baselines: map[string]*runner.Future{}}
 		// Baselines must share the scenario's SMT and PTW settings.
-		baselines := map[string]system.Result{}
 		for _, spec := range o.suite() {
 			cfg := o.baseConfig(system.Private, spec, cores, false)
 			applyScenario(&cfg, sc.prefetch, sc.smt, sc.ptw, cores)
-			baselines[spec.Name] = run(cfg)
+			sr.baselines[spec.Name] = o.submit(cfg)
 		}
 		for _, org := range orgs {
-			var vs []float64
+			var futs []*runner.Future
 			for _, spec := range o.suite() {
 				cfg := o.baseConfig(org.org, spec, cores, false)
 				cfg.L2EntriesPerCore = 0
 				applyScenario(&cfg, sc.prefetch, sc.smt, sc.ptw, cores)
-				vs = append(vs, run(cfg).SpeedupOver(baselines[spec.Name]))
+				futs = append(futs, o.submit(cfg))
+			}
+			sr.orgRuns = append(sr.orgRuns, futs)
+		}
+		pending = append(pending, sr)
+	}
+	for si, sc := range table3Scenarios {
+		sr := pending[si]
+		for oi, org := range orgs {
+			var vs []float64
+			for wi, spec := range o.suite() {
+				base := sr.baselines[spec.Name].Wait()
+				vs = append(vs, sr.orgRuns[oi][wi].Wait().SpeedupOver(base))
 			}
 			lo, hi := stats.MinMax(vs)
 			res.Rows = append(res.Rows, Table3Row{

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"nocstar/internal/runner"
 	"nocstar/internal/stats"
 	"nocstar/internal/system"
 	"nocstar/internal/workload"
@@ -54,15 +55,16 @@ func Fig19(o Options) Fig19Result {
 		{"Dis", system.DistributedMesh},
 		{"NSTAR", system.Nocstar},
 	}
+	type quad struct {
+		privAlone, alone, privStorm, storm *runner.Future
+	}
+	var pending [][]quad // one slice of quads per (cores, org) cell
 	for _, cores := range o.coreCounts() {
 		for _, org := range orgs {
-			var alone, withUB []float64
+			var quads []quad
 			for _, spec := range o.suite() {
-				privAlone := o.privateBaseline(spec, cores, false)
-
 				cfgA := o.baseConfig(org.org, spec, cores, false)
 				cfgA.L2EntriesPerCore = 0
-				alone = append(alone, run(cfgA).SpeedupOver(privAlone))
 
 				// Under the storm, private baselines suffer too: the
 				// comparison is each organization with the storm active
@@ -71,14 +73,31 @@ func Fig19(o Options) Fig19Result {
 				// per 8 cores, the paper's middle-ground policy.
 				cfgPS := o.baseConfig(system.Private, spec, cores, false)
 				cfgPS.Storm = stormConfig(o.Instr)
-				privStorm := run(cfgPS)
 
 				cfgS := o.baseConfig(org.org, spec, cores, false)
 				cfgS.L2EntriesPerCore = 0
 				cfgS.Storm = stormConfig(o.Instr)
 				cfgS.InvLeaders = cores / 8
-				withUB = append(withUB, run(cfgS).SpeedupOver(privStorm))
+
+				quads = append(quads, quad{
+					privAlone: o.baselineFuture(spec, cores, false),
+					alone:     o.submit(cfgA),
+					privStorm: o.submit(cfgPS),
+					storm:     o.submit(cfgS),
+				})
 			}
+			pending = append(pending, quads)
+		}
+	}
+	i := 0
+	for _, cores := range o.coreCounts() {
+		for _, org := range orgs {
+			var alone, withUB []float64
+			for _, q := range pending[i] {
+				alone = append(alone, q.alone.Wait().SpeedupOver(q.privAlone.Wait()))
+				withUB = append(withUB, q.storm.Wait().SpeedupOver(q.privStorm.Wait()))
+			}
+			i++
 			res.Cells = append(res.Cells, Fig19Cell{
 				Cores: cores, Org: org.name,
 				Alone: stats.Mean64(alone), WithUB: stats.Mean64(withUB),
@@ -140,15 +159,24 @@ func SliceHammer(o Options) SliceHammerResult {
 			Seed:           o.Seed,
 		}
 	}
-	priv := run(mkConfig(system.Private))
+	orgs := []struct {
+		name string
+		org  system.Org
+	}{
+		{"Monolithic", system.MonolithicMesh},
+		{"Distributed", system.DistributedMesh},
+		{"NOCSTAR", system.Nocstar},
+	}
+	privF := o.submit(mkConfig(system.Private))
+	futs := make([]*runner.Future, len(orgs))
+	for i, org := range orgs {
+		futs[i] = o.submit(mkConfig(org.org))
+	}
+	priv := privF.Wait()
 	res := SliceHammerResult{Cores: cores, Victim: map[string]float64{}}
-	for name, org := range map[string]system.Org{
-		"Monolithic": system.MonolithicMesh,
-		"Distributed": system.DistributedMesh,
-		"NOCSTAR":    system.Nocstar,
-	} {
-		r := run(mkConfig(org))
-		res.Victim[name] = r.Apps[0].IPC / priv.Apps[0].IPC
+	for i, org := range orgs {
+		r := futs[i].Wait()
+		res.Victim[org.name] = r.Apps[0].IPC / priv.Apps[0].IPC
 	}
 	return res
 }

@@ -1,0 +1,266 @@
+// Package runner fans independent simulation runs out across a bounded
+// pool of goroutines and joins their results deterministically.
+//
+// Every system.Run is a pure function of its Config — equal configs
+// produce bit-identical Results — so the experiment drivers can submit
+// all of a figure's runs up front, let them execute in any order on the
+// pool, and then aggregate the joined results in the original submission
+// order. The rendered output is byte-identical to the serial path at any
+// parallelism.
+//
+// The runner also deduplicates work: identical configs submitted while a
+// run is in flight share one execution (singleflight), and configs
+// submitted through SubmitCached are memoized for the life of the runner
+// — the concurrency-safe replacement for the experiments package's old
+// unsynchronized baselineCache map.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nocstar/internal/system"
+)
+
+// call is one scheduled execution, possibly shared by several futures.
+type call struct {
+	done chan struct{}
+	res  system.Result
+	err  error
+}
+
+// Future is a handle to an in-flight (or completed) simulation.
+type Future struct {
+	c *call
+}
+
+// Result blocks until the run completes and returns its outcome.
+func (f *Future) Result() (system.Result, error) {
+	<-f.c.done
+	return f.c.res, f.c.err
+}
+
+// Wait blocks until the run completes, panicking on configuration errors
+// (experiment configs are code, not user input — matching the drivers'
+// historical run() contract).
+func (f *Future) Wait() system.Result {
+	res, err := f.Result()
+	if err != nil {
+		panic(fmt.Sprintf("runner: %v", err))
+	}
+	return res
+}
+
+// Progress is a snapshot of the runner's counters. Submitted counts
+// scheduled executions (deduplicated submissions are not re-counted);
+// Completed counts finished ones; Deduped counts submissions resolved by
+// an identical in-flight or memoized run.
+type Progress struct {
+	Submitted uint64
+	Completed uint64
+	Deduped   uint64
+}
+
+// Runner is a bounded worker pool with in-flight deduplication and an
+// opt-in memo cache. The zero value is not ready; call New.
+type Runner struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	active   int
+	limit    int
+	inflight map[string]*call // keyed in-flight runs (singleflight)
+	memo     map[string]*call // completed SubmitCached runs
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	deduped   atomic.Uint64
+}
+
+// New returns a runner executing at most parallelism simulations at once.
+// parallelism <= 0 selects GOMAXPROCS.
+func New(parallelism int) *Runner {
+	r := &Runner{
+		inflight: map[string]*call{},
+		memo:     map[string]*call{},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.limit = normalize(parallelism)
+	return r
+}
+
+func normalize(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultRunner *Runner
+)
+
+// Default returns the process-wide shared runner. Sharing one runner
+// across experiment drivers lets memoized runs (notably the private
+// baselines every speedup divides by) execute once per process.
+func Default() *Runner {
+	defaultOnce.Do(func() { defaultRunner = New(0) })
+	return defaultRunner
+}
+
+// SetParallelism adjusts the concurrency bound for subsequent acquisitions
+// (n <= 0 restores GOMAXPROCS). Runs already executing are unaffected.
+func (r *Runner) SetParallelism(n int) {
+	r.mu.Lock()
+	r.limit = normalize(n)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Parallelism reports the current concurrency bound.
+func (r *Runner) Parallelism() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.limit
+}
+
+// Progress returns the current counters.
+func (r *Runner) Progress() Progress {
+	return Progress{
+		Submitted: r.submitted.Load(),
+		Completed: r.completed.Load(),
+		Deduped:   r.deduped.Load(),
+	}
+}
+
+// Submit schedules cfg on the pool and returns a future for its result.
+// An identical config already in flight (or memoized by SubmitCached) is
+// shared rather than re-run.
+func (r *Runner) Submit(cfg system.Config) *Future {
+	return r.submit(cfg, false)
+}
+
+// SubmitCached is Submit with memoization: the completed result is kept
+// for the life of the runner, so identical future submissions — from any
+// goroutine or driver — return it without re-running. Use it for runs
+// shared across experiments, such as private baselines.
+func (r *Runner) SubmitCached(cfg system.Config) *Future {
+	return r.submit(cfg, true)
+}
+
+// Run is Submit followed by Wait.
+func (r *Runner) Run(cfg system.Config) system.Result {
+	return r.Submit(cfg).Wait()
+}
+
+func (r *Runner) submit(cfg system.Config, cache bool) *Future {
+	key, keyed := Key(cfg)
+	if keyed {
+		r.mu.Lock()
+		if c, ok := r.memo[key]; ok {
+			r.mu.Unlock()
+			r.deduped.Add(1)
+			return &Future{c: c}
+		}
+		if c, ok := r.inflight[key]; ok {
+			r.mu.Unlock()
+			r.deduped.Add(1)
+			return &Future{c: c}
+		}
+		c := &call{done: make(chan struct{})}
+		r.inflight[key] = c
+		r.mu.Unlock()
+		r.submitted.Add(1)
+		go r.execute(cfg, c, key, cache)
+		return &Future{c: c}
+	}
+	c := &call{done: make(chan struct{})}
+	r.submitted.Add(1)
+	go r.execute(cfg, c, "", cache)
+	return &Future{c: c}
+}
+
+func (r *Runner) execute(cfg system.Config, c *call, key string, cache bool) {
+	r.acquire()
+	c.res, c.err = system.Run(cfg)
+	r.release()
+	if key != "" {
+		r.mu.Lock()
+		delete(r.inflight, key)
+		if cache && c.err == nil {
+			r.memo[key] = c
+		}
+		r.mu.Unlock()
+	}
+	close(c.done)
+	r.completed.Add(1)
+}
+
+// acquire blocks until a worker slot is free.
+func (r *Runner) acquire() {
+	r.mu.Lock()
+	for r.active >= r.limit {
+		r.cond.Wait()
+	}
+	r.active++
+	r.mu.Unlock()
+}
+
+func (r *Runner) release() {
+	r.mu.Lock()
+	r.active--
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+// Map runs fn over items on the runner's pool and returns the results in
+// item order — the deterministic fan-out for work that is not a
+// system.Config (e.g. the Fig. 11c injection-rate sweep). fn must not
+// block on other pool work, or the pool can deadlock at low parallelism.
+func Map[T, R any](r *Runner, items []T, fn func(T) R) []R {
+	out := make([]R, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		r.submitted.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.acquire()
+			defer func() {
+				r.release()
+				r.completed.Add(1)
+			}()
+			out[i] = fn(items[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Key returns a canonical dedup key for cfg. ok is false when the config
+// cannot be keyed — it carries live address streams, whose behaviour is
+// not captured by the config value — in which case every submission runs.
+func Key(cfg system.Config) (key string, ok bool) {
+	for _, a := range cfg.Apps {
+		if a.Streams != nil {
+			return "", false
+		}
+	}
+	// Config is a flat value apart from Apps and Storm; scrub those and
+	// append them field-by-field so the key never formats a pointer.
+	scrub := cfg
+	scrub.Apps = nil
+	scrub.Storm = nil
+	var b strings.Builder
+	fmt.Fprintf(&b, "%+v", scrub)
+	for _, a := range cfg.Apps {
+		fmt.Fprintf(&b, "|app:%+v", a)
+	}
+	if cfg.Storm != nil {
+		fmt.Fprintf(&b, "|storm:%+v", *cfg.Storm)
+	}
+	return b.String(), true
+}

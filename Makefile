@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine ci clean
+.PHONY: all build vet test race bench bench-engine alloc profile ci clean
 
 all: build vet test
 
@@ -28,7 +28,24 @@ bench:
 bench-engine:
 	$(GO) test -run xxx -bench . -benchtime 2s -benchmem ./internal/engine/
 
-ci: build vet race bench
+# The allocation-regression gate: the steady-state translation critical
+# path (NoC request/grant round trip, and the full system access path)
+# must stay at exactly zero heap allocations.
+alloc:
+	$(GO) test -run 'TestRequestPathAllocFree' -count 1 -v ./internal/noc/
+	$(GO) test -run 'TestAccessL2AllocFree' -count 1 -v ./internal/system/
+
+# CPU and heap profiles of the heavyweight Table III sweep, written to
+# ./profiles/ for `go tool pprof` (see EXPERIMENTS.md "Allocation-free
+# critical path" for the recorded baselines).
+profile:
+	mkdir -p profiles
+	$(GO) test -run xxx -bench 'BenchmarkTable3$$' -benchtime 2x \
+		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out \
+		-o profiles/nocstar.test .
+	@echo "inspect with: go tool pprof -top profiles/nocstar.test profiles/cpu.out"
+
+ci: build vet race bench alloc
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -29,8 +31,10 @@ func main() {
 		combos    = flag.Int("combos", 0, "limit Fig. 18 combinations (0 = all 330)")
 		cores     = flag.String("cores", "", "comma-separated core counts for scaling experiments")
 		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV data series")
-		parallel  = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS); output is byte-identical at any setting")
-		quiet     = flag.Bool("quiet", false, "suppress the progress line on stderr")
+		parallel   = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS); output is byte-identical at any setting")
+		quiet      = flag.Bool("quiet", false, "suppress the progress line on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (use -j 1 for a single-simulation view)")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	)
 	flag.Parse()
 
@@ -65,6 +69,38 @@ func main() {
 			}
 			opts.CoreCounts = append(opts.CoreCounts, n)
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
 	}
 
 	for _, id := range ids {

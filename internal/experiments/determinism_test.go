@@ -48,6 +48,62 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// fnvMix folds v into the running FNV-1a-64 hash h, one byte at a time,
+// little-endian.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// TestGoldenEventOrder pins the engine's total event order — the exact
+// (cycle, seq) stream — for two NOCSTAR configurations. The hashes were
+// captured on the closure-continuation/binary-heap scheduler that predates
+// the typed transaction objects and the timing wheel; any scheduling
+// refactor that reorders even one pair of same-cycle events changes the
+// hash. This is deliberately stricter than TestRunDeterminism, which only
+// requires runs to agree with each other.
+func TestGoldenEventOrder(t *testing.T) {
+	spec, _ := workload.ByName("graph500")
+	base := system.Config{
+		Org:            system.Nocstar,
+		Cores:          16,
+		Apps:           []system.App{{Spec: spec, Threads: 16, HammerSlice: -1}},
+		InstrPerThread: 3_000,
+		Seed:           7,
+	}
+	remote := base
+	remote.Policy = system.WalkAtRemote
+	remote.ShootdownInterval = 5_000
+
+	golden := []struct {
+		name   string
+		cfg    system.Config
+		events int
+		hash   uint64
+	}{
+		{"oneway", base, 9274, 0x3f89308201d036e8},
+		{"remote-walk", remote, 9272, 0x5c20614e14ff4851},
+	}
+	for _, g := range golden {
+		var h uint64 = 14695981039346656037
+		n := 0
+		if _, err := system.RunTraced(g.cfg, func(cycle, seq uint64) {
+			h = fnvMix(fnvMix(h, cycle), seq)
+			n++
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != g.events || h != g.hash {
+			t.Errorf("%s: event stream changed: events=%d hash=%#x, want events=%d hash=%#x",
+				g.name, n, h, g.events, g.hash)
+		}
+	}
+}
+
 // Two full drivers rendered at -j 1 and at -j 6 must produce identical
 // bytes (the acceptance contract for every driver; Fig. 12 exercises the
 // speedup-grid path and Fig. 16 left the focus-grid path, which between

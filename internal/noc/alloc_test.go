@@ -1,0 +1,89 @@
+package noc
+
+import (
+	"testing"
+
+	"nocstar/internal/engine"
+)
+
+// pingPong drives an endless request/response conversation across the
+// fabric: every grant turns the path around and re-requests it, so a
+// steady state exercises enqueue, end-of-cycle arbitration, denial and
+// retry (when several drivers contend), grant delivery, and setup-request
+// recycling — the complete NoC critical path.
+type pingPong struct {
+	eng      *engine.Engine
+	n        *Nocstar
+	src, dst NodeID
+	left     int
+	grants   int
+}
+
+func (p *pingPong) Act(op uint8, arg any) {
+	p.n.RequestPathTo(p.src, p.dst, p.n.HoldCyclesOneWay(p.src, p.dst), p, 0, nil)
+}
+
+func (p *pingPong) PathGranted(op uint8, arg any, traversal int) {
+	p.grants++
+	p.src, p.dst = p.dst, p.src
+	if p.left--; p.left > 0 {
+		p.eng.ScheduleAct(1, p, 0, nil)
+	}
+}
+
+// crossTraffic builds drivers whose XY paths overlap, so arbitration
+// rounds see contention, denials, and multi-request priority sorting.
+func crossTraffic(eng *engine.Engine, n *Nocstar) []*pingPong {
+	g := n.Geometry()
+	last := NodeID(g.Nodes() - 1)
+	return []*pingPong{
+		{eng: eng, n: n, src: 0, dst: last},
+		{eng: eng, n: n, src: g.Node(0, g.Cols-1), dst: g.Node(g.Rows-1, 0)},
+		{eng: eng, n: n, src: g.Node(g.Rows/2, 0), dst: g.Node(g.Rows/2, g.Cols-1)},
+		{eng: eng, n: n, src: last, dst: 0},
+	}
+}
+
+func runTraffic(eng *engine.Engine, drivers []*pingPong, msgs int) {
+	for _, d := range drivers {
+		d.left = msgs
+		eng.ScheduleAct(1, d, 0, nil)
+	}
+	eng.Run()
+}
+
+// TestRequestPathAllocFree pins the tentpole property on the NoC side:
+// once the engine's wheel, the arbitration buffers, and the setup-request
+// free list are warm, a path request/grant round trip allocates nothing.
+func TestRequestPathAllocFree(t *testing.T) {
+	eng := engine.New()
+	n := NewNocstar(eng, NocstarConfig{Geometry: GridFor(16)})
+	drivers := crossTraffic(eng, n)
+	// Warm the arbitration buffers, the setup-request free list, and — by
+	// running past a full lap of the engine's timing wheel — every wheel
+	// bucket the steady state will reuse.
+	runTraffic(eng, drivers, 6000)
+
+	avg := testing.AllocsPerRun(10, func() {
+		runTraffic(eng, drivers, 32)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state NoC request/response path allocates: %.1f allocs/run, want 0", avg)
+	}
+	for i, d := range drivers {
+		if d.grants == 0 {
+			t.Fatalf("driver %d was never granted a path", i)
+		}
+	}
+}
+
+// BenchmarkRequestPath measures one contended request/grant round trip.
+func BenchmarkRequestPath(b *testing.B) {
+	eng := engine.New()
+	n := NewNocstar(eng, NocstarConfig{Geometry: GridFor(16)})
+	drivers := crossTraffic(eng, n)
+	runTraffic(eng, drivers, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	runTraffic(eng, drivers, b.N)
+}

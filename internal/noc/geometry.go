@@ -6,7 +6,10 @@
 // ceil(hops/HPCmax) cycles (Section III-B).
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies a tile. Tiles are numbered row-major on a 2-D grid.
 type NodeID int
@@ -138,6 +141,67 @@ func (g Geometry) XYPath(src, dst NodeID) []LinkID {
 	return path
 }
 
+// routeTable holds every (src, dst) XY route of one grid, flattened into
+// a single links array with per-pair offsets. Routes are static under XY
+// routing, so the table is computed once per grid shape and shared by
+// every simulated system of that shape; Route hands out sub-slices of the
+// shared storage, eliminating the per-request path allocation that
+// XYPath's freshly built slices cost on the NoC critical path.
+type routeTable struct {
+	nodes int
+	off   []int32  // len nodes*nodes+1; route i spans links[off[i]:off[i+1]]
+	links []LinkID // all routes concatenated, src-major then dst
+}
+
+// routeTables caches one table per grid shape for the process lifetime.
+// The table is a pure function of (Rows, Cols), so a racing double build
+// stores identical content and determinism is unaffected.
+var routeTables sync.Map // [2]int{rows, cols} -> *routeTable
+
+// routesFor returns the (possibly freshly built) route table of g.
+func routesFor(g Geometry) *routeTable {
+	key := [2]int{g.Rows, g.Cols}
+	if v, ok := routeTables.Load(key); ok {
+		return v.(*routeTable)
+	}
+	n := g.Nodes()
+	rt := &routeTable{nodes: n, off: make([]int32, n*n+1)}
+	// Total link count: sum of Manhattan distances over all pairs.
+	total := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			total += g.Hops(NodeID(src), NodeID(dst))
+		}
+	}
+	rt.links = make([]LinkID, 0, total)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			rt.links = append(rt.links, g.XYPath(NodeID(src), NodeID(dst))...)
+			rt.off[src*n+dst+1] = int32(len(rt.links))
+		}
+	}
+	v, _ := routeTables.LoadOrStore(key, rt)
+	return v.(*routeTable)
+}
+
+// route returns the precomputed XY route from src to dst as a sub-slice
+// of the shared table storage.
+func (rt *routeTable) route(src, dst NodeID) []LinkID {
+	i := int(src)*rt.nodes + int(dst)
+	lo, hi := rt.off[i], rt.off[i+1]
+	return rt.links[lo:hi:hi]
+}
+
+// Route returns the XY route from src to dst out of the grid's
+// precomputed route table, equal element-for-element to XYPath. The
+// returned slice is shared, read-only storage: callers must not modify
+// it. Hot callers that issue many route queries should capture the table
+// once via the fabric (as Nocstar does) rather than re-resolving the
+// grid's table on every call.
+func (g Geometry) Route(src, dst NodeID) []LinkID {
+	return routesFor(g).route(src, dst)
+}
+
 // LinkEndpoints returns the tail and head nodes of a link. It panics for
 // IDs whose direction would leave the grid.
 func (g Geometry) LinkEndpoints(l LinkID) (from, to NodeID) {
@@ -162,21 +226,27 @@ func (g Geometry) LinkEndpoints(l LinkID) (from, to NodeID) {
 // discussion (an X link has few requesters, a Y link up to a column's
 // worth of rows times columns).
 func (g Geometry) ArbiterFanin(l LinkID) int {
-	srcs := map[NodeID]bool{}
+	// Sources are scanned in ascending NodeID order and counted at most
+	// once each, so the result is structurally deterministic — unlike the
+	// map-set this replaces, whose iteration order was only incidentally
+	// irrelevant.
+	rt := routesFor(g)
+	fanin := 0
 	for src := 0; src < g.Nodes(); src++ {
+	dsts:
 		for dst := 0; dst < g.Nodes(); dst++ {
 			if src == dst {
 				continue
 			}
-			for _, pl := range g.XYPath(NodeID(src), NodeID(dst)) {
+			for _, pl := range rt.route(NodeID(src), NodeID(dst)) {
 				if pl == l {
-					srcs[NodeID(src)] = true
-					break
+					fanin++
+					break dsts
 				}
 			}
 		}
 	}
-	return len(srcs)
+	return fanin
 }
 
 func abs(x int) int {

@@ -1,8 +1,6 @@
 package noc
 
 import (
-	"sort"
-
 	"nocstar/internal/engine"
 )
 
@@ -72,38 +70,71 @@ func (s NocstarStats) AvgNetworkLatency() float64 {
 	return float64(s.TotalSetupDelay+s.TotalTraversal) / float64(s.Messages)
 }
 
-// setupReq is one in-flight path-setup request.
-type setupReq struct {
-	src, dst   NodeID
-	links      []LinkID
-	hold       engine.Cycle // cycles the links stay reserved once granted
-	firstTry   engine.Cycle
-	onGranted  func(traversal int)
+// GrantHandler receives path grants from typed setup requests. Like
+// engine.Actor, the (handler, op, arg) triple replaces a captured
+// closure: the handler is a persistent model object, op selects the
+// continuation, and arg is an opaque pointer payload. PathGranted runs at
+// the start of the cycle the message may begin traversing.
+type GrantHandler interface {
+	PathGranted(op uint8, arg any, traversal int)
 }
+
+// setupReq is one in-flight path-setup request. Requests are recycled
+// through the fabric's free list once their grant is delivered.
+type setupReq struct {
+	src, dst NodeID
+	links    []LinkID // shared route-table storage; never written
+	hold     engine.Cycle // cycles the links stay reserved once granted
+	firstTry engine.Cycle
+	prio     int // rotating static priority, computed per arbitration round
+
+	// Exactly one continuation style is set: the legacy closure, or the
+	// typed (handler, op, arg) triple.
+	onGranted func(traversal int)
+	h         GrantHandler
+	op        uint8
+	arg       any
+
+	traversal int // datapath cycles, filled at grant time
+	next      *setupReq
+}
+
+// Nocstar's own engine.Actor operation codes.
+const (
+	nocOpRetry uint8 = iota // re-enter arbitration after a denied cycle
+	nocOpGrant              // deliver a granted request to its continuation
+)
 
 // Nocstar is the latchless circuit-switched TLB interconnect. All link
 // arbiters resolve synchronously at the end of each cycle: a requester
 // must win every link of its XY path in the same cycle or it retries next
 // cycle (Section III-B2, "no packets traversing partial paths").
 type Nocstar struct {
-	cfg  NocstarConfig
-	eng  *engine.Engine
-	geo  Geometry
+	cfg    NocstarConfig
+	eng    *engine.Engine
+	geo    Geometry
+	routes *routeTable // precomputed XY routes of geo, shared read-only
 	// reservedUntil[l] is the last cycle link l is held through.
 	reservedUntil []engine.Cycle
 	pending       []*setupReq
+	pendingFree   []*setupReq // drained pending buffer, recycled
 	arbScheduled  bool
+	arbFn         func() // n.arbitrate, bound once to keep AtEndOfCycle allocation-free
+	free          *setupReq
 	stats         NocstarStats
 }
 
 // NewNocstar builds the fabric on an engine.
 func NewNocstar(eng *engine.Engine, cfg NocstarConfig) *Nocstar {
-	return &Nocstar{
+	n := &Nocstar{
 		cfg:           cfg,
 		eng:           eng,
 		geo:           cfg.Geometry,
+		routes:        routesFor(cfg.Geometry),
 		reservedUntil: make([]engine.Cycle, cfg.Geometry.NumLinks()),
 	}
+	n.arbFn = n.arbitrate
+	return n
 }
 
 // Geometry returns the fabric's grid.
@@ -143,18 +174,44 @@ func (n *Nocstar) HoldCyclesOneWay(src, dst NodeID) engine.Cycle {
 // src == dst is a caller bug — local slices bypass the network — and
 // panics to surface model errors early.
 func (n *Nocstar) RequestPath(src, dst NodeID, hold engine.Cycle, onGranted func(traversal int)) {
+	req := n.newReq(src, dst, hold)
+	req.onGranted = onGranted
+	n.enqueue(req)
+}
+
+// RequestPathTo is the typed, allocation-free form of RequestPath: on
+// grant, h.PathGranted(op, arg, traversal) runs instead of a closure.
+// Semantics and arbitration order are otherwise identical.
+func (n *Nocstar) RequestPathTo(src, dst NodeID, hold engine.Cycle, h GrantHandler, op uint8, arg any) {
+	req := n.newReq(src, dst, hold)
+	req.h, req.op, req.arg = h, op, arg
+	n.enqueue(req)
+}
+
+// newReq initializes a setup request from the free list.
+func (n *Nocstar) newReq(src, dst NodeID, hold engine.Cycle) *setupReq {
 	if src == dst {
 		panic("noc: RequestPath for local access")
 	}
-	req := &setupReq{
-		src:       src,
-		dst:       dst,
-		links:     n.geo.XYPath(src, dst),
-		hold:      hold,
-		firstTry:  n.eng.Now(),
-		onGranted: onGranted,
+	req := n.free
+	if req == nil {
+		req = &setupReq{}
+	} else {
+		n.free = req.next
+		*req = setupReq{}
 	}
-	n.enqueue(req)
+	req.src = src
+	req.dst = dst
+	req.links = n.routes.route(src, dst)
+	req.hold = hold
+	req.firstTry = n.eng.Now()
+	return req
+}
+
+// freeReq recycles a request whose grant has been delivered.
+func (n *Nocstar) freeReq(req *setupReq) {
+	*req = setupReq{next: n.free}
+	n.free = req
 }
 
 // enqueue adds a request to this cycle's arbitration round.
@@ -162,7 +219,26 @@ func (n *Nocstar) enqueue(req *setupReq) {
 	n.pending = append(n.pending, req)
 	if !n.arbScheduled {
 		n.arbScheduled = true
-		n.eng.AtEndOfCycle(n.arbitrate)
+		n.eng.AtEndOfCycle(n.arbFn)
+	}
+}
+
+// Act dispatches the fabric's own typed events.
+func (n *Nocstar) Act(op uint8, arg any) {
+	req := arg.(*setupReq)
+	switch op {
+	case nocOpRetry:
+		n.enqueue(req)
+	case nocOpGrant:
+		// Recycle before delivering: the continuation may request a new
+		// path immediately and reuse this object.
+		h, hop, harg, tr, fn := req.h, req.op, req.arg, req.traversal, req.onGranted
+		n.freeReq(req)
+		if fn != nil {
+			fn(tr)
+		} else {
+			h.PathGranted(hop, harg, tr)
+		}
 	}
 }
 
@@ -182,12 +258,28 @@ func (n *Nocstar) priority(src NodeID, now engine.Cycle) int {
 func (n *Nocstar) arbitrate() {
 	n.arbScheduled = false
 	reqs := n.pending
-	n.pending = nil
+	// Swap in the recycled buffer: retries issued below are events for
+	// the next cycle, so nothing appends to n.pending while reqs drains,
+	// but a second arbitration round within this cycle may.
+	n.pending = n.pendingFree[:0]
 	now := n.eng.Now()
 
-	sort.SliceStable(reqs, func(i, j int) bool {
-		return n.priority(reqs[i].src, now) < n.priority(reqs[j].src, now)
-	})
+	// Stable insertion sort by rotating priority. Equivalent ordering to
+	// sort.SliceStable, without the per-call closure and interface-header
+	// allocations; rounds are small (tens of requests), where insertion
+	// sort also wins outright.
+	for i := range reqs {
+		reqs[i].prio = n.priority(reqs[i].src, now)
+	}
+	for i := 1; i < len(reqs); i++ {
+		req := reqs[i]
+		j := i - 1
+		for j >= 0 && reqs[j].prio > req.prio {
+			reqs[j+1] = reqs[j]
+			j--
+		}
+		reqs[j+1] = req
+	}
 
 	for _, req := range reqs {
 		n.stats.SetupAttempts++
@@ -195,9 +287,9 @@ func (n *Nocstar) arbitrate() {
 			continue
 		}
 		// Denied: retry at the end of the next cycle.
-		req := req
-		n.eng.Schedule(1, func() { n.enqueue(req) })
+		n.eng.ScheduleAct(1, n, nocOpRetry, req)
 	}
+	n.pendingFree = reqs[:0]
 }
 
 // granted attempts to reserve the request's links for [now+1, now+hold].
@@ -222,7 +314,8 @@ func (n *Nocstar) granted(req *setupReq, now engine.Cycle) bool {
 	}
 	traversal := n.TraversalCycles(len(req.links))
 	n.stats.TotalTraversal += uint64(traversal)
-	n.eng.Schedule(1, func() { req.onGranted(traversal) })
+	req.traversal = traversal
+	n.eng.ScheduleAct(1, n, nocOpGrant, req)
 	return true
 }
 
@@ -231,7 +324,7 @@ func (n *Nocstar) granted(req *setupReq, now engine.Cycle) bool {
 // earlier than the conservatively reserved window.
 func (n *Nocstar) Release(src, dst NodeID) {
 	now := n.eng.Now()
-	for _, l := range n.geo.XYPath(src, dst) {
+	for _, l := range n.routes.route(src, dst) {
 		if n.reservedUntil[l] > now {
 			n.reservedUntil[l] = now
 		}

@@ -1,0 +1,98 @@
+package system
+
+import (
+	"testing"
+
+	"nocstar/internal/engine"
+	"nocstar/internal/vm"
+	"nocstar/internal/workload"
+)
+
+// ringStream cycles a thread over a fixed ring of 4 KB pages. A working
+// set larger than the L1 TLBs (and, across threads, than the shared L2)
+// keeps the full critical path busy: L1 misses, remote NOCSTAR slice
+// accesses, L2 misses, and page walks.
+type ringStream struct {
+	base  vm.VirtAddr
+	pages uint64
+	next  uint64
+}
+
+func (r *ringStream) Next() vm.VirtAddr {
+	va := r.base + vm.VirtAddr((r.next%r.pages)*4096)
+	r.next++
+	return va
+}
+
+// allocTestSystem builds a running NOCSTAR system in steady state: thread
+// loops started (as run() does) and warmed far enough that every page of
+// every ring is mapped (including prefetch neighbours), all free lists
+// are populated, and the engine's timing wheel has completed a full lap.
+func allocTestSystem(t testing.TB) (*System, *engine.Cycle) {
+	t.Helper()
+	const threads = 8
+	spec := workload.Spec{
+		Name:           "alloc-ring",
+		FootprintPages: 1, // unused: streams are injected
+		MemRefPerInstr: 1.0,
+		BaseCPI:        1.0,
+	}
+	app := App{Spec: spec, Threads: threads, HammerSlice: -1}
+	for i := 0; i < threads; i++ {
+		app.Streams = append(app.Streams, &ringStream{
+			base:  vm.VirtAddr(0x1000_0000_0000 + uint64(i)*0x4000_0000),
+			pages: 4096,
+		})
+	}
+	cfg := Config{
+		Org:            Nocstar,
+		Cores:          threads,
+		Apps:           []App{app},
+		InstrPerThread: 1 << 40, // never finishes during the test
+		Seed:           5,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range s.threads {
+		s.eng.ScheduleAct(0, s, opThreadLoop, th)
+	}
+	s.startDisturbances()
+	// The long warmup matters: beyond mapping every page and filling the
+	// free lists, each of the engine's 8192 wheel buckets must see its
+	// steady-state maximum event count so bucket capacities stop growing.
+	// Empirically the last append-growth happens before cycle 8M with this
+	// workload; 10M leaves margin.
+	limit := engine.Cycle(10_000_000)
+	s.eng.RunUntil(limit)
+	if s.walks == 0 || s.l2Misses == 0 || s.remoteCount == 0 {
+		t.Fatalf("warmup did not exercise the full path: walks=%d l2Misses=%d remote=%d",
+			s.walks, s.l2Misses, s.remoteCount)
+	}
+	return s, &limit
+}
+
+// TestAccessL2AllocFree pins the tentpole property end to end: a warm
+// system advances — thread issue, L1 miss, NOCSTAR path setup, slice
+// lookup, page walk, resume — without a single heap allocation.
+func TestAccessL2AllocFree(t *testing.T) {
+	s, limit := allocTestSystem(t)
+	avg := testing.AllocsPerRun(10, func() {
+		*limit += 20_000
+		s.eng.RunUntil(*limit)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state translation path allocates: %.1f allocs per 20k cycles, want 0", avg)
+	}
+}
+
+// BenchmarkAccessL2 measures steady-state simulation throughput of the
+// full translation critical path, in wall time per simulated cycle.
+func BenchmarkAccessL2(b *testing.B) {
+	s, limit := allocTestSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	*limit += engine.Cycle(b.N)
+	s.eng.RunUntil(*limit)
+}

@@ -24,7 +24,7 @@ type storm struct {
 // startDisturbances arms the shootdown generator and/or the storm co-run.
 func (s *System) startDisturbances() {
 	if s.cfg.ShootdownInterval > 0 {
-		s.eng.Schedule(engine.Cycle(s.cfg.ShootdownInterval), s.shootdownTick)
+		s.eng.ScheduleAct(engine.Cycle(s.cfg.ShootdownInterval), s, opShootdownTick, nil)
 	}
 	if s.cfg.Storm != nil {
 		st := &storm{
@@ -37,12 +37,10 @@ func (s *System) startDisturbances() {
 		}
 		st.promoted = make([]bool, st.regions)
 		if s.cfg.Storm.PromoteDemoteInterval > 0 {
-			s.eng.Schedule(engine.Cycle(s.cfg.Storm.PromoteDemoteInterval), func() {
-				s.stormPromoteDemote(st)
-			})
+			s.eng.ScheduleAct(engine.Cycle(s.cfg.Storm.PromoteDemoteInterval), s, opStormPromote, st)
 		}
 		if s.cfg.Storm.ContextSwitchInterval > 0 {
-			s.eng.Schedule(engine.Cycle(s.cfg.Storm.ContextSwitchInterval), s.stormContextSwitch)
+			s.eng.ScheduleAct(engine.Cycle(s.cfg.Storm.ContextSwitchInterval), s, opStormCtxSwitch, nil)
 		}
 	}
 }
@@ -64,7 +62,7 @@ func (s *System) shootdownTick() {
 			{Ctx: a.as.Ctx, VPN: va.VPN(size), Size: size},
 		})
 	}
-	s.eng.Schedule(engine.Cycle(s.cfg.ShootdownInterval), s.shootdownTick)
+	s.eng.ScheduleAct(engine.Cycle(s.cfg.ShootdownInterval), s, opShootdownTick, nil)
 }
 
 // stormPromoteDemote performs the microbenchmark's next promote or demote
@@ -100,9 +98,7 @@ func (s *System) stormPromoteDemote(st *storm) {
 	if wait := horizon - s.eng.Now(); wait > next {
 		next = wait + engine.Cycle(s.cfg.Storm.PromoteDemoteInterval)/4
 	}
-	s.eng.Schedule(next, func() {
-		s.stormPromoteDemote(st)
-	})
+	s.eng.ScheduleAct(next, s, opStormPromote, st)
 }
 
 // stormContextSwitch models an x86 context switch under the storm: all
@@ -128,7 +124,7 @@ func (s *System) stormContextSwitch() {
 		sl.Flush()
 		s.chargeSlicePort(i, 4)
 	}
-	s.eng.Schedule(engine.Cycle(s.cfg.Storm.ContextSwitchInterval), s.stormContextSwitch)
+	s.eng.ScheduleAct(engine.Cycle(s.cfg.Storm.ContextSwitchInterval), s, opStormCtxSwitch, nil)
 }
 
 // deliverInvalidations executes one shootdown: the IPI handler

@@ -11,32 +11,28 @@ import (
 // accessL2 is the entry point of the last-level TLB access path: the
 // thread has missed its L1 TLB and stalls until the translation returns
 // (address translation is on the critical path of every L1 cache access).
-func (s *System) accessL2(th *thread, va vm.VirtAddr) {
-	s.ensureMapped(th.app, va)
-	start := s.eng.Now()
+//
+// The thread resumes at finish(); the *access* — the Fig. 5/6
+// "outstanding shared L2 TLB access" window — ends at endAccess, when the
+// response or miss message returns to the requester. A subsequent page
+// walk stalls the thread but is not an outstanding L2 TLB access.
+func (s *System) accessL2(x *xact) {
+	th := x.th
+	s.ensureMapped(th.app, x.va)
+	x.start = s.eng.Now()
 	s.l2Accesses++
 	s.outstanding++
 	s.conc.Observe(s.outstanding)
 
-	// The thread resumes at done(); the *access* — the Fig. 5/6
-	// "outstanding shared L2 TLB access" window — ends at endAccess,
-	// when the response or miss message returns to the requester. A
-	// subsequent page walk stalls the thread but is not an outstanding
-	// L2 TLB access.
-	done := func() {
-		th.stall += uint64(s.eng.Now() - start)
-		s.threadLoop(th)
-	}
-
 	switch s.cfg.Org {
 	case Private:
-		s.privateAccess(th, va, start, done)
+		s.privateAccess(x)
 	case MonolithicMesh, MonolithicSMART, MonolithicFixed:
-		s.monoAccess(th, va, start, done)
+		s.monoAccess(x)
 	case DistributedMesh, IdealShared:
-		s.distAccess(th, va, start, done)
+		s.distAccess(x)
 	case Nocstar, NocstarIdeal:
-		s.nocstarAccess(th, va, start, done)
+		s.nocstarAccess(x)
 	}
 }
 
@@ -50,29 +46,85 @@ func (s *System) endAccess(slice int) {
 	}
 }
 
+// finish releases the thread: account its stall and issue its next run of
+// references. The transaction is recycled first so the next L1 miss (in
+// this very call) can reuse it.
+func (s *System) finish(x *xact) {
+	th := x.th
+	th.stall += uint64(s.eng.Now() - x.start)
+	s.putXact(x)
+	s.threadLoop(th)
+}
+
 // resumeWithEntry finishes a hit: install the translation in the L1 TLB
 // and release the thread.
-func (s *System) resumeWithEntry(th *thread, e tlb.Entry, done func()) {
+func (s *System) resumeWithEntry(x *xact) {
+	th := x.th
+	e := x.entry
 	th.core.l1.Insert(th.app.as.Ctx, e.VPN, e.Size, e.PFN)
-	done()
+	s.finish(x)
 }
 
 // resumeWithWalk finishes a miss after its walk: install in L1.
-func (s *System) resumeWithWalk(th *thread, va vm.VirtAddr, res vm.WalkResult, done func()) {
-	size := res.Size
-	th.core.l1.Insert(th.app.as.Ctx, va.VPN(size), size, uint64(res.PA)>>size.Shift())
-	done()
+func (s *System) resumeWithWalk(x *xact) {
+	th := x.th
+	size := x.res.Size
+	th.core.l1.Insert(th.app.as.Ctx, x.va.VPN(size), size, uint64(x.res.PA)>>size.Shift())
+	s.finish(x)
 }
 
-// performWalk runs a page-table walk at core c, invoking cb with the walk
-// result at its completion cycle.
-func (s *System) performWalk(c *core, a *app, va vm.VirtAddr, cb func(res vm.WalkResult)) {
-	lat, res, ok := c.walker.Walk(s.eng.Now(), a.as, va)
+// scheduleWalk runs a page-table walk at core c, scheduling op at the
+// walk's completion cycle with the result in x.res.
+func (s *System) scheduleWalk(c *core, x *xact, op uint8) {
+	lat, res, ok := c.walker.Walk(s.eng.Now(), x.th.app.as, x.va)
 	if !ok {
 		panic("system: walk of unmapped address (ensureMapped missing)")
 	}
 	s.walks++
-	s.eng.Schedule(engine.Cycle(lat), func() { cb(res) })
+	x.res = res
+	s.eng.ScheduleAct(engine.Cycle(lat), s, op, x)
+}
+
+// localWalked completes a walk performed at the requesting core: install
+// the translation, charge the insert message that ships it to the shared
+// structure (off the critical path), and resume the thread.
+func (s *System) localWalked(x *xact) {
+	slice := x.slice
+	if slice < 0 {
+		slice = 0
+	}
+	s.insertTranslation(x.th, x.va, x.res, slice)
+	switch s.cfg.Org {
+	case Private:
+		// The walked entry stays in the private L2: no message.
+	case MonolithicMesh, MonolithicSMART, MonolithicFixed:
+		s.meter.AddMessage(energy.MonolithicMessage(x.hops, 0)) // insert msg
+	case DistributedMesh, IdealShared:
+		if x.src != x.dst {
+			s.meter.AddMessage(energy.DistributedMessage(x.hops, 0))
+		}
+	case Nocstar, NocstarIdeal:
+		s.sendInsertMessage(x.src, x.dst)
+	}
+	s.resumeWithWalk(x)
+}
+
+// remoteWalked completes a WalkAtRemote walk at the slice/bank owner:
+// install the translation there, then carry the result back to the
+// requester over the organization's interconnect.
+func (s *System) remoteWalked(x *xact) {
+	slice := x.slice
+	if slice < 0 {
+		slice = 0
+	}
+	s.insertTranslation(x.th, x.va, x.res, slice)
+	switch s.cfg.Org {
+	case Nocstar, NocstarIdeal:
+		x.arrived = arrWalkRemote
+		s.sendNocstarResponse(x, s.eng.Now())
+	default:
+		s.eng.ScheduleAct(engine.Cycle(x.oneWay), s, opEndResumeWalk, x)
+	}
 }
 
 // insertTranslation installs a walked translation into the L2 structure
@@ -123,60 +175,55 @@ func (s *System) insertOne(th *thread, a *app, vpn uint64, size vm.PageSize, pfn
 // ---------------------------------------------------------------------
 // Private L2 TLBs (Fig. 1a) — the baseline.
 
-func (s *System) privateAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
+func (s *System) privateAccess(x *xact) {
+	th := x.th
 	c := th.core
-	avail := start
+	x.slice = -1
+	avail := x.start
 	if c.privPortFree > avail {
 		avail = c.privPortFree
 	}
 	c.privPortFree = avail + 1 // pipelined: one lookup starts per cycle
 	lookupDone := avail + engine.Cycle(s.sliceLat)
 
-	e, hit := c.privL2.Lookup(th.app.as.Ctx, va)
+	e, hit := c.privL2.Lookup(th.app.as.Ctx, x.va)
 	if hit {
 		s.l2Hits++
-		s.accessCycles += uint64(lookupDone - start)
+		s.accessCycles += uint64(lookupDone - x.start)
 		s.hitCount++
-		s.eng.At(lookupDone, func() {
-			s.endAccess(-1)
-			s.resumeWithEntry(th, e, done)
-		})
+		x.entry = e
+		s.eng.AtAct(lookupDone, s, opHitDone, x)
 		return
 	}
 	s.l2Misses++
-	s.eng.At(lookupDone, func() {
-		s.endAccess(-1)
-		s.performWalk(c, th.app, va, func(res vm.WalkResult) {
-			s.insertTranslation(th, va, res, 0)
-			s.resumeWithWalk(th, va, res, done)
-		})
-	})
+	s.eng.AtAct(lookupDone, s, opLocalMiss, x)
 }
 
 // ---------------------------------------------------------------------
 // Monolithic banked shared L2 TLB (Fig. 1c) over mesh / SMART / a forced
 // flat latency (Fig. 4).
 
-func (s *System) monoAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
-	bank := s.bankFor(va)
-	dst := s.bankNodes[bank]
-	src := th.core.node
+func (s *System) monoAccess(x *xact) {
+	th := x.th
+	bank := s.bankFor(x.va)
+	x.slice = -1
+	x.dst = s.bankNodes[bank]
+	x.src = th.core.node
 
-	var oneWay int
 	switch s.cfg.Org {
 	case MonolithicMesh:
-		oneWay = s.mesh.Latency(src, dst)
+		x.oneWay = s.mesh.Latency(x.src, x.dst)
 	case MonolithicSMART:
-		oneWay = s.smart.Latency(src, dst)
+		x.oneWay = s.smart.Latency(x.src, x.dst)
 	case MonolithicFixed:
-		oneWay = 0 // folded into the forced access latency
+		x.oneWay = 0 // folded into the forced access latency
 	}
-	hops := s.geo.Hops(src, dst)
-	s.meter.AddMessage(energy.MonolithicMessage(2*hops, 0))
-	s.netCycles += uint64(2 * oneWay)
+	x.hops = s.geo.Hops(x.src, x.dst)
+	s.meter.AddMessage(energy.MonolithicMessage(2*x.hops, 0))
+	s.netCycles += uint64(2 * x.oneWay)
 	s.remoteCount++
 
-	arrive := start + engine.Cycle(oneWay)
+	arrive := x.start + engine.Cycle(x.oneWay)
 	avail := arrive
 	if s.bankPortFree[bank] > avail {
 		avail = s.bankPortFree[bank]
@@ -188,44 +235,26 @@ func (s *System) monoAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done
 	}
 	lookupDone := avail + engine.Cycle(lat)
 
-	e, hit := s.mono.Lookup(th.app.as.Ctx, va)
+	e, hit := s.mono.Lookup(th.app.as.Ctx, x.va)
 	if hit {
-		resume := lookupDone + engine.Cycle(oneWay)
+		resume := lookupDone + engine.Cycle(x.oneWay)
 		s.l2Hits++
-		s.accessCycles += uint64(resume - start)
+		s.accessCycles += uint64(resume - x.start)
 		s.hitCount++
-		s.eng.At(resume, func() {
-			s.endAccess(-1)
-			s.resumeWithEntry(th, e, done)
-		})
+		x.entry = e
+		s.eng.AtAct(resume, s, opHitDone, x)
 		return
 	}
 	s.l2Misses++
 	if s.cfg.Policy == WalkAtRemote {
-		remote := s.cores[int(dst)]
-		s.eng.At(lookupDone, func() {
-			remote.hier.Pollute(pollutionLines)
-			s.performWalk(remote, th.app, va, func(res vm.WalkResult) {
-				s.insertTranslation(th, va, res, 0)
-				s.eng.Schedule(engine.Cycle(oneWay), func() {
-					s.endAccess(-1)
-					s.resumeWithWalk(th, va, res, done)
-				})
-			})
-		})
+		x.wcore = s.cores[int(x.dst)]
+		s.eng.AtAct(lookupDone, s, opRemoteWalkStart, x)
 		return
 	}
 	// Walk at requester: miss message returns, requester walks, then an
 	// insert message flows back (off the critical path).
-	backAt := lookupDone + engine.Cycle(oneWay)
-	s.eng.At(backAt, func() {
-		s.endAccess(-1)
-		s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
-			s.insertTranslation(th, va, res, 0)
-			s.meter.AddMessage(energy.MonolithicMessage(hops, 0)) // insert msg
-			s.resumeWithWalk(th, va, res, done)
-		})
-	})
+	backAt := lookupDone + engine.Cycle(x.oneWay)
+	s.eng.AtAct(backAt, s, opLocalMiss, x)
 }
 
 // bankServiceCycles is the initiation interval of one monolithic bank: a
@@ -244,64 +273,45 @@ const pollutionLines = 2
 // Distributed shared slices over a multi-hop mesh (Fig. 1d), and the
 // zero-interconnect-latency "ideal" reference.
 
-func (s *System) distAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
-	slice := s.sliceFor(th, va)
+func (s *System) distAccess(x *xact) {
+	th := x.th
+	slice := s.sliceFor(th, x.va)
 	s.sliceBegin(slice)
+	x.slice = slice
 
-	src := th.core.node
-	dst := noc.NodeID(slice)
-	oneWay := 0
+	x.src = th.core.node
+	x.dst = noc.NodeID(slice)
 	if s.cfg.Org == DistributedMesh {
-		oneWay = s.mesh.Latency(src, dst)
+		x.oneWay = s.mesh.Latency(x.src, x.dst)
 	}
-	if src == dst {
+	if x.src == x.dst {
 		s.localSlice++
 	} else {
-		hops := s.geo.Hops(src, dst)
-		s.meter.AddMessage(energy.DistributedMessage(2*hops, 0))
-		s.netCycles += uint64(2 * oneWay)
+		x.hops = s.geo.Hops(x.src, x.dst)
+		s.meter.AddMessage(energy.DistributedMessage(2*x.hops, 0))
+		s.netCycles += uint64(2 * x.oneWay)
 		s.remoteCount++
 	}
 
-	arrive := start + engine.Cycle(oneWay)
-	doneAt, e, hit := s.sliceLookup(th.app, va, slice, arrive)
+	arrive := x.start + engine.Cycle(x.oneWay)
+	doneAt, e, hit := s.sliceLookup(th.app, x.va, slice, arrive)
 	if hit {
-		resume := doneAt + engine.Cycle(oneWay)
+		resume := doneAt + engine.Cycle(x.oneWay)
 		s.l2Hits++
-		s.accessCycles += uint64(resume - start)
+		s.accessCycles += uint64(resume - x.start)
 		s.hitCount++
-		s.eng.At(resume, func() {
-			s.endAccess(slice)
-			s.resumeWithEntry(th, e, done)
-		})
+		x.entry = e
+		s.eng.AtAct(resume, s, opHitDone, x)
 		return
 	}
 	s.l2Misses++
-	if s.cfg.Policy == WalkAtRemote && src != dst {
-		remote := s.cores[slice]
-		s.eng.At(doneAt, func() {
-			remote.hier.Pollute(pollutionLines)
-			s.performWalk(remote, th.app, va, func(res vm.WalkResult) {
-				s.insertTranslation(th, va, res, slice)
-				s.eng.Schedule(engine.Cycle(oneWay), func() {
-					s.endAccess(slice)
-					s.resumeWithWalk(th, va, res, done)
-				})
-			})
-		})
+	if s.cfg.Policy == WalkAtRemote && x.src != x.dst {
+		x.wcore = s.cores[slice]
+		s.eng.AtAct(doneAt, s, opRemoteWalkStart, x)
 		return
 	}
-	backAt := doneAt + engine.Cycle(oneWay)
-	s.eng.At(backAt, func() {
-		s.endAccess(slice)
-		s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
-			s.insertTranslation(th, va, res, slice)
-			if src != dst {
-				s.meter.AddMessage(energy.DistributedMessage(s.geo.Hops(src, dst), 0))
-			}
-			s.resumeWithWalk(th, va, res, done)
-		})
-	})
+	backAt := doneAt + engine.Cycle(x.oneWay)
+	s.eng.AtAct(backAt, s, opLocalMiss, x)
 }
 
 // sliceLookup models the pipelined, ported slice array: a lookup may
@@ -330,97 +340,69 @@ func (s *System) sliceEnd(slice int) { s.sliceOut[slice]-- }
 // NOCSTAR: distributed slices over the latchless circuit-switched fabric
 // (Section III; timeline of Fig. 10).
 
-func (s *System) nocstarAccess(th *thread, va vm.VirtAddr, start engine.Cycle, done func()) {
-	slice := s.sliceFor(th, va)
+func (s *System) nocstarAccess(x *xact) {
+	th := x.th
+	slice := s.sliceFor(th, x.va)
 	s.sliceBegin(slice)
+	x.slice = slice
 
-	src := th.core.node
-	dst := noc.NodeID(slice)
-	if src == dst {
+	x.src = th.core.node
+	x.dst = noc.NodeID(slice)
+	if x.src == x.dst {
 		// Local slice: identical to a private L2 TLB access (Fig. 11a
 		// "Case 1").
 		s.localSlice++
-		doneAt, e, hit := s.sliceLookup(th.app, va, slice, start)
+		doneAt, e, hit := s.sliceLookup(th.app, x.va, slice, x.start)
 		if hit {
 			s.l2Hits++
-			s.accessCycles += uint64(doneAt - start)
+			s.accessCycles += uint64(doneAt - x.start)
 			s.hitCount++
-			s.eng.At(doneAt, func() {
-				s.endAccess(slice)
-				s.resumeWithEntry(th, e, done)
-			})
+			x.entry = e
+			s.eng.AtAct(doneAt, s, opHitDone, x)
 			return
 		}
 		s.l2Misses++
-		s.eng.At(doneAt, func() {
-			s.endAccess(slice)
-			s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
-				s.insertTranslation(th, va, res, slice)
-				s.resumeWithWalk(th, va, res, done)
-			})
-		})
+		s.eng.AtAct(doneAt, s, opLocalMiss, x)
 		return
 	}
 
 	s.remoteCount++
-	hops := s.geo.Hops(src, dst)
-	s.meter.AddMessage(energy.NocstarMessage(2*hops, 0))
+	x.hops = s.geo.Hops(x.src, x.dst)
+	s.meter.AddMessage(energy.NocstarMessage(2*x.hops, 0))
 
-	trav := s.fabric.TraversalCycles(hops)
-	hold := s.fabric.HoldCyclesOneWay(src, dst)
+	trav := s.fabric.TraversalCycles(x.hops)
+	hold := s.fabric.HoldCyclesOneWay(x.src, x.dst)
 	if s.cfg.Acquire == noc.RoundTripAcquire {
 		// Hold the path for the whole remote access: request traversal,
 		// estimated queue, lookup, response traversal.
 		hold = engine.Cycle(2*trav+s.sliceLat) + 2
 	}
+	s.fabric.RequestPathTo(x.src, x.dst, hold, s, grantRequest, x)
+}
 
-	s.fabric.RequestPath(src, dst, hold, func(gotTrav int) {
-		// Now() is the first traversal cycle; the message lands at the
-		// slice at the end of traversal, and the lookup may start the
-		// following cycle.
-		arrive := s.eng.Now() + engine.Cycle(gotTrav-1)
-		doneAt, e, hit := s.sliceLookup(th.app, va, slice, arrive+1)
-		if hit {
-			s.l2Hits++
-			s.sendNocstarResponse(dst, src, doneAt, func(back engine.Cycle) {
-				s.accessCycles += uint64(back - start)
-				s.hitCount++
-				s.eng.At(back, func() {
-					s.endAccess(slice)
-					s.resumeWithEntry(th, e, done)
-				})
-			})
-			return
-		}
-		s.l2Misses++
-		if s.cfg.Policy == WalkAtRemote {
-			remote := s.cores[slice]
-			s.eng.At(doneAt, func() {
-				remote.hier.Pollute(pollutionLines)
-				s.performWalk(remote, th.app, va, func(res vm.WalkResult) {
-					s.insertTranslation(th, va, res, slice)
-					s.sendNocstarResponse(dst, src, s.eng.Now(), func(back engine.Cycle) {
-						s.eng.At(back, func() {
-							s.endAccess(slice)
-							s.resumeWithWalk(th, va, res, done)
-						})
-					})
-				})
-			})
-			return
-		}
-		// Walk at requester: the miss message is the response.
-		s.sendNocstarResponse(dst, src, doneAt, func(back engine.Cycle) {
-			s.eng.At(back, func() {
-				s.endAccess(slice)
-				s.performWalk(th.core, th.app, va, func(res vm.WalkResult) {
-					s.insertTranslation(th, va, res, slice)
-					s.sendInsertMessage(src, dst)
-					s.resumeWithWalk(th, va, res, done)
-				})
-			})
-		})
-	})
+// nocstarGranted continues a remote NOCSTAR access once the request path
+// is granted. Now() is the first traversal cycle; the message lands at the
+// slice at the end of traversal, and the lookup may start the following
+// cycle.
+func (s *System) nocstarGranted(x *xact, gotTrav int) {
+	arrive := s.eng.Now() + engine.Cycle(gotTrav-1)
+	doneAt, e, hit := s.sliceLookup(x.th.app, x.va, x.slice, arrive+1)
+	if hit {
+		s.l2Hits++
+		x.entry = e
+		x.arrived = arrHit
+		s.sendNocstarResponse(x, doneAt)
+		return
+	}
+	s.l2Misses++
+	if s.cfg.Policy == WalkAtRemote {
+		x.wcore = s.cores[x.slice]
+		s.eng.AtAct(doneAt, s, opRemoteWalkStart, x)
+		return
+	}
+	// Walk at requester: the miss message is the response.
+	x.arrived = arrMiss
+	s.sendNocstarResponse(x, doneAt)
 }
 
 // sendNocstarResponse delivers a response (or miss message) from the
@@ -429,12 +411,12 @@ func (s *System) nocstarAccess(th *thread, va vm.VirtAddr, start engine.Cycle, d
 // during the slice lookup (Fig. 10), so an uncontended response departs
 // the cycle the lookup completes. Under round-trip acquisition the links
 // are already held; the response simply traverses and the path releases.
-func (s *System) sendNocstarResponse(from, to noc.NodeID, readyAt engine.Cycle, arrived func(back engine.Cycle)) {
-	trav := s.fabric.TraversalCycles(s.geo.Hops(from, to))
+func (s *System) sendNocstarResponse(x *xact, readyAt engine.Cycle) {
+	trav := s.fabric.TraversalCycles(s.geo.Hops(x.dst, x.src))
 	if s.cfg.Acquire == noc.RoundTripAcquire {
 		back := readyAt + engine.Cycle(trav)
-		s.eng.At(back, func() { s.fabric.Release(to, from) })
-		arrived(back)
+		s.eng.AtAct(back, s, opNocRelease, x)
+		s.nocstarArrived(x, back)
 		return
 	}
 	issueAt := readyAt - 1 // speculative overlap with the lookup
@@ -444,15 +426,23 @@ func (s *System) sendNocstarResponse(from, to noc.NodeID, readyAt engine.Cycle, 
 	if issueAt < s.eng.Now() {
 		issueAt = s.eng.Now()
 	}
-	s.eng.At(issueAt, func() {
-		s.fabric.RequestPath(from, to, s.fabric.HoldCyclesOneWay(from, to), func(gotTrav int) {
-			back := s.eng.Now() + engine.Cycle(gotTrav-1)
-			if back < readyAt {
-				back = readyAt
-			}
-			arrived(back)
-		})
-	})
+	x.readyAt = readyAt
+	s.eng.AtAct(issueAt, s, opNocRespIssue, x)
+}
+
+// nocstarArrived schedules the requester-side continuation for a response
+// landing at cycle back.
+func (s *System) nocstarArrived(x *xact, back engine.Cycle) {
+	switch x.arrived {
+	case arrHit:
+		s.accessCycles += uint64(back - x.start)
+		s.hitCount++
+		s.eng.AtAct(back, s, opHitDone, x)
+	case arrMiss:
+		s.eng.AtAct(back, s, opLocalMiss, x)
+	case arrWalkRemote:
+		s.eng.AtAct(back, s, opEndResumeWalk, x)
+	}
 }
 
 // sendInsertMessage ships a walked translation to its home slice, off the
@@ -462,12 +452,8 @@ func (s *System) sendInsertMessage(src, dst noc.NodeID) {
 		return
 	}
 	s.meter.AddMessage(energy.NocstarMessage(s.geo.Hops(src, dst), 0))
-	s.fabric.RequestPath(src, dst, s.fabric.HoldCyclesOneWay(src, dst), func(int) {
-		// Charge the slice write port on arrival.
-		slice := int(dst)
-		if s.slicePortFree[slice] < s.eng.Now() {
-			s.slicePortFree[slice] = s.eng.Now()
-		}
-		s.slicePortFree[slice]++
-	})
+	// On arrival the slice write port is charged; the grant payload points
+	// into slicePortFree, which is never reallocated after New.
+	s.fabric.RequestPathTo(src, dst, s.fabric.HoldCyclesOneWay(src, dst),
+		s, grantInsert, &s.slicePortFree[int(dst)])
 }

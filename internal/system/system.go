@@ -105,6 +105,9 @@ type System struct {
 	meter        energy.Meter
 
 	threadsLive int
+
+	// xfree is the free list of recycled translation transactions.
+	xfree *xact
 }
 
 // maxCycles bounds a run as a safety net against model bugs.
@@ -268,10 +271,23 @@ func Run(cfg Config) (Result, error) {
 	return s.run()
 }
 
+// RunTraced is Run with an event-order observer: observe is invoked for
+// every engine event the run executes, in execution order, with the
+// event's (cycle, seq). The stream is a fingerprint of the engine's total
+// event order, which the golden-order regression tests pin across
+// refactors of the scheduling machinery.
+func RunTraced(cfg Config, observe func(cycle, seq uint64)) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.eng.SetObserver(func(when engine.Cycle, seq uint64) { observe(uint64(when), seq) })
+	return s.run()
+}
+
 func (s *System) run() (Result, error) {
 	for _, th := range s.threads {
-		th := th
-		s.eng.Schedule(0, func() { s.threadLoop(th) })
+		s.eng.ScheduleAct(0, s, opThreadLoop, th)
 	}
 	s.startDisturbances()
 	s.eng.RunUntil(maxCycles)
@@ -301,7 +317,10 @@ func (s *System) threadLoop(th *thread) {
 		s.l1Misses++
 		whole := engine.Cycle(carry)
 		th.carry = carry - float64(whole)
-		s.eng.Schedule(whole, func() { s.accessL2(th, va) })
+		x := s.getXact()
+		x.th = th
+		x.va = va
+		s.eng.ScheduleAct(whole, s, opAccessL2, x)
 		return
 	}
 	th.carry = carry

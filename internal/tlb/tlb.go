@@ -19,6 +19,16 @@ type Entry struct {
 	Size  vm.PageSize
 	PFN   uint64 // physical frame number at Size granularity
 	lru   uint64
+	// meta packs (Valid, Ctx, Size) into one word so the way-match loop —
+	// the hottest code in the simulator — compares two words per way
+	// instead of four fields. Zero means invalid; maintained by Insert and
+	// the invalidation paths.
+	meta uint64
+}
+
+// metaFor builds the packed comparison tag of a live entry.
+func metaFor(ctx vm.ContextID, size vm.PageSize) uint64 {
+	return 1<<63 | uint64(ctx)<<8 | uint64(size)
 }
 
 // Config describes a TLB array.
@@ -62,8 +72,13 @@ func (s Stats) MissRate() float64 {
 // 4K and 2M translations concurrently); lookups probe once per supported
 // size, as skewed/unified TLBs do in hardware.
 type TLB struct {
-	cfg     Config
-	sets    [][]Entry
+	cfg Config
+	// entries holds all sets contiguously, set-major: set s spans
+	// entries[s*ways : (s+1)*ways]. One flat array keeps a whole set on
+	// adjacent cache lines and removes the per-set pointer chase of a
+	// slice-of-slices layout — Lookup/Insert are the hottest flat CPU in
+	// the simulator's profile.
+	entries []Entry
 	ways    int
 	nsets   uint64
 	setMask uint64 // nsets-1 when nsets is a power of two, else 0
@@ -91,16 +106,12 @@ func New(cfg Config) *TLB {
 	if len(sizes) == 0 {
 		sizes = []vm.PageSize{vm.Page4K}
 	}
-	sets := make([][]Entry, nsets)
-	for i := range sets {
-		sets[i] = make([]Entry, ways)
-	}
 	t := &TLB{
-		cfg:   cfg,
-		sets:  sets,
-		ways:  ways,
-		nsets: uint64(nsets),
-		sizes: sizes,
+		cfg:     cfg,
+		entries: make([]Entry, nsets*ways),
+		ways:    ways,
+		nsets:   uint64(nsets),
+		sizes:   sizes,
 	}
 	if nsets&(nsets-1) == 0 {
 		t.setMask = uint64(nsets - 1)
@@ -112,7 +123,7 @@ func New(cfg Config) *TLB {
 func (t *TLB) Config() Config { return t.cfg }
 
 // Sets reports the number of sets.
-func (t *TLB) Sets() int { return len(t.sets) }
+func (t *TLB) Sets() int { return int(t.nsets) }
 
 // Ways reports the effective associativity.
 func (t *TLB) Ways() int { return t.ways }
@@ -134,6 +145,12 @@ func (t *TLB) setFor(vpn uint64) uint64 {
 	return vpn % t.nsets
 }
 
+// set returns the ways of one set as a sub-slice of the flat array.
+func (t *TLB) set(vpn uint64) []Entry {
+	i := int(t.setFor(vpn)) * t.ways
+	return t.entries[i : i+t.ways]
+}
+
 // Lookup probes the array for the translation of va in context ctx,
 // trying every supported page size. It returns the matching entry.
 func (t *TLB) Lookup(ctx vm.ContextID, va vm.VirtAddr) (Entry, bool) {
@@ -141,10 +158,11 @@ func (t *TLB) Lookup(ctx vm.ContextID, va vm.VirtAddr) (Entry, bool) {
 	t.tick++
 	for _, size := range t.sizes {
 		vpn := va.VPN(size)
-		set := t.sets[t.setFor(vpn)]
+		meta := metaFor(ctx, size)
+		set := t.set(vpn)
 		for i := range set {
 			e := &set[i]
-			if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+			if e.meta == meta && e.VPN == vpn {
 				e.lru = t.tick
 				t.stats.Hits++
 				return *e, true
@@ -158,10 +176,11 @@ func (t *TLB) Lookup(ctx vm.ContextID, va vm.VirtAddr) (Entry, bool) {
 // Probe reports whether the translation is present without touching LRU
 // state or counting statistics (used by invariants and shootdown checks).
 func (t *TLB) Probe(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
-	set := t.sets[t.setFor(vpn)]
+	set := t.set(vpn)
+	meta := metaFor(ctx, size)
 	for i := range set {
 		e := &set[i]
-		if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+		if e.meta == meta && e.VPN == vpn {
 			return true
 		}
 	}
@@ -176,13 +195,14 @@ func (t *TLB) Probe(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
 func (t *TLB) Insert(ctx vm.ContextID, vpn uint64, size vm.PageSize, pfn uint64) bool {
 	t.stats.Inserts++
 	t.tick++
-	set := t.sets[t.setFor(vpn)]
+	set := t.set(vpn)
+	meta := metaFor(ctx, size)
 	victim := 0
 	ctxWays := 0
 	ownLRU := -1
 	for i := range set {
 		e := &set[i]
-		if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+		if e.meta == meta && e.VPN == vpn {
 			e.PFN = pfn
 			e.lru = t.tick
 			return false
@@ -210,18 +230,20 @@ func (t *TLB) Insert(ctx vm.ContextID, vpn uint64, size vm.PageSize, pfn uint64)
 	if evicted {
 		t.stats.Evictions++
 	}
-	set[victim] = Entry{Valid: true, Ctx: ctx, VPN: vpn, Size: size, PFN: pfn, lru: t.tick}
+	set[victim] = Entry{Valid: true, Ctx: ctx, VPN: vpn, Size: size, PFN: pfn, lru: t.tick, meta: meta}
 	return evicted
 }
 
 // InvalidatePage removes the translation of (ctx, vpn, size) if present,
 // reporting whether an entry was invalidated.
 func (t *TLB) InvalidatePage(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
-	set := t.sets[t.setFor(vpn)]
+	set := t.set(vpn)
+	meta := metaFor(ctx, size)
 	for i := range set {
 		e := &set[i]
-		if e.Valid && e.Ctx == ctx && e.Size == size && e.VPN == vpn {
+		if e.meta == meta && e.VPN == vpn {
 			e.Valid = false
+			e.meta = 0
 			t.stats.Invalidated++
 			return true
 		}
@@ -233,13 +255,12 @@ func (t *TLB) InvalidatePage(ctx vm.ContextID, vpn uint64, size vm.PageSize) boo
 // the number invalidated (an x86 context-switch flush for shared TLBs).
 func (t *TLB) InvalidateContext(ctx vm.ContextID) int {
 	n := 0
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			e := &t.sets[s][w]
-			if e.Valid && e.Ctx == ctx {
-				e.Valid = false
-				n++
-			}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.Ctx == ctx {
+			e.Valid = false
+			e.meta = 0
+			n++
 		}
 	}
 	t.stats.Invalidated += uint64(n)
@@ -249,13 +270,11 @@ func (t *TLB) InvalidateContext(ctx vm.ContextID) int {
 // Flush removes everything, returning the number of entries dropped.
 func (t *TLB) Flush() int {
 	n := 0
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			if t.sets[s][w].Valid {
-				n++
-			}
-			t.sets[s][w] = Entry{}
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
 		}
+		t.entries[i] = Entry{}
 	}
 	t.stats.Invalidated += uint64(n)
 	return n
@@ -276,11 +295,9 @@ func (t *TLB) Apply(inv vm.Invalidation) int {
 // Occupancy reports the number of valid entries.
 func (t *TLB) Occupancy() int {
 	n := 0
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			if t.sets[s][w].Valid {
-				n++
-			}
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
 		}
 	}
 	return n

@@ -1,14 +1,28 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race bench bench-engine alloc profile ci clean
+.PHONY: all build fmt vet staticcheck test race bench bench-engine alloc smoke profile ci clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# Fails if any file needs reformatting (prints the offenders).
+fmt:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when installed, skip (loudly)
+# when the environment doesn't have it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -35,6 +49,10 @@ alloc:
 	$(GO) test -run 'TestRequestPathAllocFree' -count 1 -v ./internal/noc/
 	$(GO) test -run 'TestAccessL2AllocFree' -count 1 -v ./internal/system/
 
+# End-to-end smoke of the report pipeline: tiny run, JSON document out.
+smoke:
+	$(GO) run ./cmd/nocstar-exp -quiet -instr 2000 -report /tmp/nocstar-report.json fig12
+
 # CPU and heap profiles of the heavyweight Table III sweep, written to
 # ./profiles/ for `go tool pprof` (see EXPERIMENTS.md "Allocation-free
 # critical path" for the recorded baselines).
@@ -45,7 +63,7 @@ profile:
 		-o profiles/nocstar.test .
 	@echo "inspect with: go tool pprof -top profiles/nocstar.test profiles/cpu.out"
 
-ci: build vet race bench alloc
+ci: build fmt vet staticcheck race bench alloc smoke
 
 clean:
 	$(GO) clean ./...

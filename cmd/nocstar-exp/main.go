@@ -11,7 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -19,18 +21,23 @@ import (
 	"time"
 
 	"nocstar/internal/experiments"
+	"nocstar/internal/metrics"
 	"nocstar/internal/runner"
+	"nocstar/internal/system"
+	"nocstar/internal/workload"
 )
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list available experiments")
-		instr     = flag.Uint64("instr", experiments.DefaultOptions().Instr, "instructions per thread")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		workloads = flag.String("workloads", "", "comma-separated workload filter")
-		combos    = flag.Int("combos", 0, "limit Fig. 18 combinations (0 = all 330)")
-		cores     = flag.String("cores", "", "comma-separated core counts for scaling experiments")
-		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV data series")
+		list       = flag.Bool("list", false, "list available experiments")
+		instr      = flag.Uint64("instr", experiments.DefaultOptions().Instr, "instructions per thread")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		workloads  = flag.String("workloads", "", "comma-separated workload filter")
+		combos     = flag.Int("combos", 0, "limit Fig. 18 combinations (0 = all 330)")
+		cores      = flag.String("cores", "", "comma-separated core counts for scaling experiments")
+		csvDir     = flag.String("csv", "", "directory to write per-experiment CSV data series")
+		report     = flag.String("report", "", "write a schema-versioned JSON run report to this file")
+		trace      = flag.String("trace", "", "write a Chrome trace_event JSON of one representative run to this file (view in chrome://tracing or ui.perfetto.dev)")
 		parallel   = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS); output is byte-identical at any setting")
 		quiet      = flag.Bool("quiet", false, "suppress the progress line on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (use -j 1 for a single-simulation view)")
@@ -103,6 +110,7 @@ func main() {
 		}()
 	}
 
+	var ran []experiments.RanExperiment
 	for _, id := range ids {
 		e, err := experiments.Lookup(id)
 		if err != nil {
@@ -115,17 +123,99 @@ func main() {
 		stop()
 		fmt.Print(res.Render())
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		if *report != "" {
+			ran = append(ran, experiments.RanExperiment{
+				ID: e.ID, Description: e.Description, Result: res,
+			})
+		}
 		if *csvDir != "" {
 			if c, ok := res.(experiments.CSVer); ok {
-				path := fmt.Sprintf("%s/%s.csv", *csvDir, e.ID)
-				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
+				path := filepath.Join(*csvDir, e.ID+".csv")
+				writeOutput(path, func(w io.Writer) error {
+					_, err := io.WriteString(w, c.CSV())
+					return err
+				})
 				fmt.Printf("[wrote %s]\n\n", path)
 			}
 		}
 	}
+
+	if *report != "" {
+		rep := experiments.BuildReport(opts, ran)
+		writeOutput(*report, rep.WriteJSON)
+		fmt.Printf("[wrote %s]\n", *report)
+	}
+	if *trace != "" {
+		writeTrace(*trace, opts)
+		fmt.Printf("[wrote %s]\n", *trace)
+	}
+}
+
+// writeOutput creates path's directory if needed and writes the file
+// through fn, exiting on any error.
+func writeOutput(path string, fn func(io.Writer) error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// traceInstrCap bounds the traced run: traces are for inspecting event
+// timelines, not statistics, and a short window keeps the file loadable.
+const traceInstrCap = 20_000
+
+// writeTrace performs one representative NOCSTAR run with the event
+// tracer attached and writes the Chrome trace_event JSON.
+func writeTrace(path string, opts experiments.Options) {
+	name := "graph500"
+	if len(opts.Workloads) > 0 {
+		name = opts.Workloads[0]
+	}
+	spec, ok := workload.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q for -trace\n", name)
+		os.Exit(2)
+	}
+	cores := 16
+	if len(opts.CoreCounts) > 0 {
+		cores = opts.CoreCounts[0]
+	}
+	instr := opts.Instr
+	if instr > traceInstrCap {
+		instr = traceInstrCap
+	}
+	cfg := system.Config{
+		Org:            system.Nocstar,
+		Cores:          cores,
+		Apps:           []system.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+		InstrPerThread: instr,
+		Seed:           opts.Seed,
+	}
+	tr := metrics.NewTracer(0)
+	if _, err := system.RunWithTracer(cfg, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if tr.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "trace window filled: %d events dropped\n", tr.Dropped())
+	}
+	writeOutput(path, tr.WriteChrome)
 }
 
 // startProgress periodically reports the experiment's simulation progress

@@ -131,9 +131,9 @@ type Hierarchy struct {
 	levels     []*Cache
 	memLatency int
 
-	accesses   uint64
-	levelHits  []uint64
-	memFills   uint64
+	accesses  uint64
+	levelHits []uint64
+	memFills  uint64
 }
 
 // NewHierarchy builds a hierarchy from inner to outer level configs.

@@ -136,10 +136,10 @@ func figPerf(o Options, title string, cores int, thp bool) SpeedupGrid {
 
 // Fig14Row is one (cores, org) cell.
 type Fig14Row struct {
-	Cores       int
-	Org         string
+	Cores         int
+	Org           string
 	Min, Avg, Max float64
-	EnergySaved float64 // percent of baseline translation energy
+	EnergySaved   float64 // percent of baseline translation energy
 }
 
 // Fig14Result holds the scalability sweep.

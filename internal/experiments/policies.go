@@ -153,10 +153,10 @@ func Fig17(o Options) Fig17Result {
 
 // Table3Row is one scenario x organization row.
 type Table3Row struct {
-	Prefetch string
-	SMT      int
-	PTW      string
-	Org      string
+	Prefetch      string
+	SMT           int
+	PTW           string
+	Org           string
 	Min, Avg, Max float64
 }
 

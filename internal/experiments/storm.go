@@ -17,9 +17,9 @@ import (
 
 // Fig19Cell is one (cores, org) pair of speedups.
 type Fig19Cell struct {
-	Cores int
-	Org   string
-	Alone float64 // workload running alone (matches Figs. 12-14 data)
+	Cores  int
+	Org    string
+	Alone  float64 // workload running alone (matches Figs. 12-14 data)
 	WithUB float64 // co-run with the storm microbenchmark
 }
 

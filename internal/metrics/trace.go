@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace event kinds. The tracer records the simulator's translation-path
+// milestones: NOCSTAR path setups/grants/releases, shared-TLB hits and
+// misses, and page walks.
+const (
+	TracePathSetup uint8 = iota // A=src node, B=dst node; Dur=setup cycles
+	TracePathGrant              // A=src, B=dst; instant at first traversal cycle
+	TraceRelease                // A=src, B=dst; instant early link release
+	TraceL2Hit                  // A=core, B=slice; Dur=access cycles
+	TraceL2Miss                 // A=core, B=slice; instant at access start
+	TraceWalk                   // A=core, B=slice; Dur=walk cycles
+	traceKinds
+)
+
+// traceNames and traceCats label events in the Chrome trace_event output.
+var traceNames = [traceKinds]string{
+	"path-setup", "path-grant", "path-release", "l2-hit", "l2-miss", "walk",
+}
+
+var traceCats = [traceKinds]string{
+	"noc", "noc", "noc", "tlb", "tlb", "ptw",
+}
+
+// TraceEvent is one recorded milestone. Cycle is the event's start cycle
+// and Dur its span (0 = instant); A and B identify the participants
+// (nodes, cores, slices) per kind.
+type TraceEvent struct {
+	Cycle uint64
+	Dur   uint64
+	Kind  uint8
+	A, B  int32
+}
+
+// Tracer records a bounded window of TraceEvents into preallocated
+// storage. Emit is allocation-free; once the window fills, further events
+// are counted as dropped and discarded, so a tracer attached to an
+// arbitrarily long run costs bounded memory. A nil *Tracer is the
+// disabled state: hot paths guard every Emit with a nil check, which is
+// the entire cost when tracing is off.
+type Tracer struct {
+	events  []TraceEvent
+	dropped uint64
+}
+
+// DefaultTraceCapacity bounds the recording window when NewTracer is
+// given no explicit capacity.
+const DefaultTraceCapacity = 1 << 20
+
+// NewTracer returns a tracer recording up to capacity events
+// (<= 0 selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{events: make([]TraceEvent, 0, capacity)}
+}
+
+// Emit records one event, dropping it if the window is full.
+func (t *Tracer) Emit(kind uint8, cycle, dur uint64, a, b int32) {
+	if len(t.events) == cap(t.events) {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{Cycle: cycle, Dur: dur, Kind: kind, A: a, B: b})
+}
+
+// Len reports how many events were recorded.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Dropped reports how many events fell outside the recording window.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Events returns the recorded window.
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// WriteChrome writes the recorded window as Chrome trace_event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Timestamps are
+// simulated cycles (one trace "microsecond" = one cycle); spans use
+// complete ("X") events and instants use "i". Events are sorted by start
+// cycle, which Perfetto expects; hit/miss spans are emitted at decision
+// time with their true start cycle, so the raw buffer is only mostly
+// sorted.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	evs := append([]TraceEvent(nil), t.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range evs {
+		sep := ","
+		if i == len(evs)-1 {
+			sep = ""
+		}
+		name, cat := traceNames[ev.Kind], traceCats[ev.Kind]
+		if ev.Dur > 0 {
+			fmt.Fprintf(bw, "{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"a\":%d,\"b\":%d}}%s\n",
+				name, cat, ev.Cycle, ev.Dur, ev.A, ev.A, ev.B, sep)
+		} else {
+			fmt.Fprintf(bw, "{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"a\":%d,\"b\":%d}}%s\n",
+				name, cat, ev.Cycle, ev.A, ev.A, ev.B, sep)
+		}
+	}
+	if _, err := bw.WriteString("],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nocstar/internal/engine"
+	"nocstar/internal/metrics"
 )
 
 // pingPong drives an endless request/response conversation across the
@@ -58,6 +59,11 @@ func runTraffic(eng *engine.Engine, drivers []*pingPong, msgs int) {
 func TestRequestPathAllocFree(t *testing.T) {
 	eng := engine.New()
 	n := NewNocstar(eng, NocstarConfig{Geometry: GridFor(16)})
+	// Metrics and tracer attached: observation must stay allocation-free
+	// (the tracer's window is kept saturated by the warmup, exercising the
+	// drop path too).
+	n.AttachMetrics(metrics.NewRegistry())
+	n.SetTracer(metrics.NewTracer(1 << 12))
 	drivers := crossTraffic(eng, n)
 	// Warm the arbitration buffers, the setup-request free list, and — by
 	// running past a full lap of the engine's timing wheel — every wheel

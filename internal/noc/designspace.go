@@ -108,7 +108,7 @@ func DesignSpace(n int) []DesignPoint {
 	radix := float64(rows + cols - 2)
 	fbWide := DesignPoint{
 		Name:           "FBFly-wide",
-		AvgLatency:     2 * 2, // ~2 hops x (router+link)
+		AvgLatency:     2 * 2,       // ~2 hops x (router+link)
 		BisectionLinks: rows * cols, // row links crossing + express links
 		AreaMM2:        nodes * meshRouterAreaMM2 * fbflyRadixFactor * radix / 8,
 		PowerMW:        nodes * meshRouterPowerMW * fbflyRadixFactor * radix / 8,

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"nocstar/internal/engine"
+	"nocstar/internal/metrics"
 )
 
 // AcquireMode selects the paper's two link-reservation policies
@@ -42,6 +43,10 @@ type NocstarStats struct {
 	FirstTryGrants  uint64 // messages granted with zero contention delay
 	TotalSetupDelay uint64 // cycles from first request to grant, >= 1 each
 	TotalTraversal  uint64 // datapath cycles
+	Retries         uint64 // denied arbitration attempts (SetupAttempts - Messages)
+	Releases        uint64 // early Release calls (RoundTripAcquire only)
+	ReleasedLinks   uint64 // links actually freed early by Release
+	ForeignLinks    uint64 // links a Release skipped because another grant held them
 }
 
 // AvgSetupCycles reports the mean cycles spent acquiring a path
@@ -83,7 +88,7 @@ type GrantHandler interface {
 // through the fabric's free list once their grant is delivered.
 type setupReq struct {
 	src, dst NodeID
-	links    []LinkID // shared route-table storage; never written
+	links    []LinkID     // shared route-table storage; never written
 	hold     engine.Cycle // cycles the links stay reserved once granted
 	firstTry engine.Cycle
 	prio     int // rotating static priority, computed per arbitration round
@@ -122,6 +127,11 @@ type Nocstar struct {
 	arbFn         func() // n.arbitrate, bound once to keep AtEndOfCycle allocation-free
 	free          *setupReq
 	stats         NocstarStats
+
+	// Optional observability, attached before the run starts. Both are
+	// nil-checked on the hot path; detached costs one branch.
+	setupHist *metrics.Hist   // cycles from first request to grant
+	tracer    *metrics.Tracer // path setup/grant/release events
 }
 
 // NewNocstar builds the fabric on an engine.
@@ -142,6 +152,15 @@ func (n *Nocstar) Geometry() Geometry { return n.geo }
 
 // Stats returns a copy of the accumulated statistics.
 func (n *Nocstar) Stats() NocstarStats { return n.stats }
+
+// AttachMetrics registers the fabric's latency histograms on reg. Call
+// once, before the run starts; observations are allocation-free.
+func (n *Nocstar) AttachMetrics(reg *metrics.Registry) {
+	n.setupHist = reg.Hist("noc.setup_cycles", nil)
+}
+
+// SetTracer attaches an event tracer (nil detaches).
+func (n *Nocstar) SetTracer(tr *metrics.Tracer) { n.tracer = tr }
 
 // TraversalCycles returns the datapath cycles for h hops: a single cycle
 // when the path fits within HPCmax, one more per additional HPCmax-hop
@@ -287,6 +306,7 @@ func (n *Nocstar) arbitrate() {
 			continue
 		}
 		// Denied: retry at the end of the next cycle.
+		n.stats.Retries++
 		n.eng.ScheduleAct(1, n, nocOpRetry, req)
 	}
 	n.pendingFree = reqs[:0]
@@ -315,18 +335,48 @@ func (n *Nocstar) granted(req *setupReq, now engine.Cycle) bool {
 	traversal := n.TraversalCycles(len(req.links))
 	n.stats.TotalTraversal += uint64(traversal)
 	req.traversal = traversal
+	if n.setupHist != nil {
+		n.setupHist.Observe(setupDelay)
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(metrics.TracePathSetup, uint64(req.firstTry), setupDelay,
+			int32(req.src), int32(req.dst))
+		n.tracer.Emit(metrics.TracePathGrant, uint64(now+1), 0,
+			int32(req.src), int32(req.dst))
+	}
 	n.eng.ScheduleAct(1, n, nocOpGrant, req)
 	return true
 }
 
-// Release frees the links of the XY path from src to dst immediately.
-// RoundTripAcquire holders call this when the response has been consumed
-// earlier than the conservatively reserved window.
-func (n *Nocstar) Release(src, dst NodeID) {
+// Release frees the links of the XY path from src to dst that are still
+// held by the caller's own grant, identified by its reservation window:
+// until is the grant's reservedUntil value (grant-delivery cycle - 1 +
+// hold). RoundTripAcquire holders call this when the response has been
+// consumed earlier than the conservatively reserved window.
+//
+// The per-grant match matters: reservations on a link strictly grow (a
+// new grant requires the old one to have expired and always reserves
+// further into the future), so reservedUntil[l] == until identifies the
+// caller's hold exactly. A link whose reservation has moved past until
+// belongs to a later grant on a shared segment and must not be rewound —
+// the unconditional rewind this replaces let a late round-trip release
+// clobber another message's circuit, allowing overlapping paths.
+func (n *Nocstar) Release(src, dst NodeID, until engine.Cycle) {
 	now := n.eng.Now()
+	n.stats.Releases++
 	for _, l := range n.routes.route(src, dst) {
-		if n.reservedUntil[l] > now {
+		switch {
+		case n.reservedUntil[l] <= now:
+			// Already expired or never held; nothing to free.
+		case n.reservedUntil[l] == until:
 			n.reservedUntil[l] = now
+			n.stats.ReleasedLinks++
+		default:
+			// A later grant owns this link now.
+			n.stats.ForeignLinks++
 		}
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(metrics.TraceRelease, uint64(now), 0, int32(src), int32(dst))
 	}
 }

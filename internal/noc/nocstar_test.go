@@ -150,9 +150,11 @@ func TestIdealModeNeverBlocks(t *testing.T) {
 func TestReleaseFreesLinks(t *testing.T) {
 	eng, ns := newFabric(t, 16, 16, false)
 	eng.Schedule(1, func() {
+		// Arbitrated end of cycle 1: links reserved through 1+1000.
 		ns.RequestPath(0, 3, 1000, func(int) {
-			// Holder releases early at cycle 5.
-			eng.At(5, func() { ns.Release(0, 3) })
+			// Holder releases early at cycle 5, identifying its own
+			// reservation window.
+			eng.At(5, func() { ns.Release(0, 3, 1001) })
 		})
 	})
 	var grant engine.Cycle
@@ -162,6 +164,54 @@ func TestReleaseFreesLinks(t *testing.T) {
 	eng.Run()
 	if grant != 6 {
 		t.Fatalf("post-release grant at %d, want 6", grant)
+	}
+	st := ns.Stats()
+	if st.Releases != 1 || st.ReleasedLinks == 0 || st.ForeignLinks != 0 {
+		t.Fatalf("release stats = %+v", st)
+	}
+}
+
+// TestLateReleaseDoesNotClobber is the regression test for the
+// link-release clobbering bug: a round-trip holder whose release fires
+// after its reservation window expired must not rewind reservations a
+// *different* granted message now holds on the shared links.
+//
+// Timeline (path 0->3, same links throughout):
+//
+//	cycle 1:  A requests, hold 20 -> granted end of cycle 1, links
+//	          reserved through cycle 21.
+//	cycle 22: B requests, hold 20 -> A's reservation has expired, B is
+//	          granted, links reserved through cycle 42.
+//	cycle 30: A's release finally arrives (a queued response made the
+//	          round trip outlast the conservative hold). A identifies its
+//	          reservation window (21); the links now carry B's (42), so
+//	          nothing may be freed.
+//	cycle 31: C requests, hold 1. With the fix C waits for B: first
+//	          winnable arbitration is end of cycle 42, grant cycle 43.
+//	          The old unconditional rewind freed B's links at cycle 30
+//	          and C was granted at cycle 32, overlapping B's circuit.
+func TestLateReleaseDoesNotClobber(t *testing.T) {
+	eng, ns := newFabric(t, 16, 16, false)
+	eng.Schedule(1, func() {
+		ns.RequestPath(0, 3, 20, func(int) {}) // A: reserved through 21
+	})
+	eng.Schedule(22, func() {
+		ns.RequestPath(0, 3, 20, func(int) {}) // B: reserved through 42
+	})
+	eng.Schedule(30, func() {
+		ns.Release(0, 3, 21) // A's late release
+	})
+	var cGrant engine.Cycle
+	eng.Schedule(31, func() {
+		ns.RequestPath(0, 3, 1, func(int) { cGrant = eng.Now() })
+	})
+	eng.Run()
+	if cGrant != 43 {
+		t.Fatalf("C granted at %d, want 43 (B's circuit must stay reserved through 42)", cGrant)
+	}
+	st := ns.Stats()
+	if st.Releases != 1 || st.ReleasedLinks != 0 || st.ForeignLinks == 0 {
+		t.Fatalf("release stats = %+v", st)
 	}
 }
 

@@ -53,10 +53,10 @@ func DefaultConfig() Config {
 
 // Stats aggregates walker behaviour.
 type Stats struct {
-	Walks        uint64
-	TotalCycles  uint64
-	QueueCycles  uint64
-	PWCHits      uint64
+	Walks       uint64
+	TotalCycles uint64
+	QueueCycles uint64
+	PWCHits     uint64
 	// LeafFromLLCOrMem counts walks whose leaf PTE came from the LLC or
 	// memory — the paper reports 70-87 % on its baseline.
 	LeafFromLLCOrMem uint64

@@ -49,17 +49,17 @@ const ClockGHz = 2.0
 
 // TileCosts is the per-tile power/area breakdown of Fig. 9.
 type TileCosts struct {
-	SwitchPowerMW   float64 // latchless switch
-	SwitchAreaMM2   float64
-	ArbiterPowerMW  float64 // the 4 link arbiters of a tile
-	ArbiterAreaMM2  float64
-	SRAMPowerMW     float64 // the 1024-entry-class L2 TLB slice SRAM
-	SRAMAreaMM2     float64
-	TileWidthUM     float64 // place-and-routed tile extent
-	TileHeightUM    float64
-	SwitchWidthUM   float64
-	ArbiterWidthUM  float64
-	TargetClockNS   float64
+	SwitchPowerMW  float64 // latchless switch
+	SwitchAreaMM2  float64
+	ArbiterPowerMW float64 // the 4 link arbiters of a tile
+	ArbiterAreaMM2 float64
+	SRAMPowerMW    float64 // the 1024-entry-class L2 TLB slice SRAM
+	SRAMAreaMM2    float64
+	TileWidthUM    float64 // place-and-routed tile extent
+	TileHeightUM   float64
+	SwitchWidthUM  float64
+	ArbiterWidthUM float64
+	TargetClockNS  float64
 }
 
 // Fig9 returns the published place-and-route numbers for one NOCSTAR tile

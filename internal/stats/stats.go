@@ -101,19 +101,31 @@ func (m *Mean) Add(v float64) {
 // N reports the sample count.
 func (m *Mean) N() uint64 { return m.n }
 
-// Mean reports the sample mean, or 0 with no samples.
+// Mean reports the sample mean, or NaN with no samples. NaN propagates
+// loudly (Table renders it as "-") where a silent 0 used to masquerade as
+// a legitimate measured value.
 func (m *Mean) Mean() float64 {
 	if m.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return m.sum / float64(m.n)
 }
 
-// Min reports the smallest sample, or 0 with no samples.
-func (m *Mean) Min() float64 { return m.min }
+// Min reports the smallest sample, or NaN with no samples.
+func (m *Mean) Min() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.min
+}
 
-// Max reports the largest sample, or 0 with no samples.
-func (m *Mean) Max() float64 { return m.max }
+// Max reports the largest sample, or NaN with no samples.
+func (m *Mean) Max() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.max
+}
 
 // Geomean returns the geometric mean of vs, ignoring non-positive values.
 // It returns 1 for an empty input, matching its use for speedup ratios.
@@ -161,13 +173,25 @@ func MinMax(vs []float64) (lo, hi float64) {
 }
 
 // Percentile returns the p-th percentile (0..100) of vs using linear
-// interpolation. It panics on empty input.
+// interpolation. It panics on empty input. The input is copied and
+// sorted on every call; callers extracting several percentiles of the
+// same data should sort once and use PercentileSorted.
 func Percentile(vs []float64, p float64) float64 {
 	if len(vs) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
 	s := append([]float64(nil), vs...)
 	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted returns the p-th percentile (0..100) of an
+// already-ascending slice using linear interpolation, without copying or
+// re-sorting. It panics on empty input.
+func PercentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		panic("stats: PercentileSorted of empty slice")
+	}
 	if p <= 0 {
 		return s[0]
 	}
@@ -196,7 +220,9 @@ func NewTable(title string) *Table {
 }
 
 // Row appends a row of cells. Non-string cells are formatted with %v;
-// float64 cells with %.3f.
+// float64 cells with %.3f, except NaN — the "no samples" sentinel — which
+// renders as "-" rather than a value a reader could mistake for a
+// measurement.
 func (t *Table) Row(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -204,7 +230,11 @@ func (t *Table) Row(cells ...interface{}) {
 		case string:
 			row[i] = v
 		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
+			if math.IsNaN(v) {
+				row[i] = "-"
+			} else {
+				row[i] = fmt.Sprintf("%.3f", v)
+			}
 		default:
 			row[i] = fmt.Sprintf("%v", v)
 		}

@@ -97,9 +97,42 @@ func TestMean(t *testing.T) {
 }
 
 func TestMeanEmpty(t *testing.T) {
+	// With no samples there is no mean: NaN, not a 0 that renders as a
+	// legitimate measurement.
 	var m Mean
-	if m.Mean() != 0 {
-		t.Fatal("empty mean should be 0")
+	if !math.IsNaN(m.Mean()) || !math.IsNaN(m.Min()) || !math.IsNaN(m.Max()) {
+		t.Fatalf("empty mean = %v/%v/%v, want NaN", m.Mean(), m.Min(), m.Max())
+	}
+}
+
+func TestPercentileSorted(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if got := PercentileSorted(s, 50); got != 2.5 {
+		t.Fatalf("P50 = %v, want 2.5", got)
+	}
+	if PercentileSorted(s, 0) != 1 || PercentileSorted(s, 100) != 4 {
+		t.Fatal("extremes wrong")
+	}
+	// Agrees with the copying Percentile on unsorted input.
+	unsorted := []float64{4, 1, 3, 2}
+	if Percentile(unsorted, 75) != PercentileSorted(s, 75) {
+		t.Fatal("Percentile and PercentileSorted disagree")
+	}
+	// Percentile must not have reordered its input.
+	if unsorted[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestTableRendersNaNAsDash(t *testing.T) {
+	tb := NewTable("")
+	tb.Row("h1", "h2")
+	tb.Row(math.NaN(), 1.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	if len(fields) != 2 || fields[0] != "-" || fields[1] != "1.500" {
+		t.Fatalf("NaN cell not rendered as -: %q\n%s", fields, out)
 	}
 }
 

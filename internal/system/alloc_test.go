@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nocstar/internal/engine"
+	"nocstar/internal/metrics"
 	"nocstar/internal/vm"
 	"nocstar/internal/workload"
 )
@@ -66,9 +67,9 @@ func allocTestSystem(t testing.TB) (*System, *engine.Cycle) {
 	// workload; 10M leaves margin.
 	limit := engine.Cycle(10_000_000)
 	s.eng.RunUntil(limit)
-	if s.walks == 0 || s.l2Misses == 0 || s.remoteCount == 0 {
+	if s.m.walks.Value() == 0 || s.m.l2Misses.Value() == 0 || s.m.remote.Value() == 0 {
 		t.Fatalf("warmup did not exercise the full path: walks=%d l2Misses=%d remote=%d",
-			s.walks, s.l2Misses, s.remoteCount)
+			s.m.walks.Value(), s.m.l2Misses.Value(), s.m.remote.Value())
 	}
 	return s, &limit
 }
@@ -84,6 +85,22 @@ func TestAccessL2AllocFree(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state translation path allocates: %.1f allocs per 20k cycles, want 0", avg)
+	}
+}
+
+// TestAccessL2AllocFreeWithTracer repeats the allocation pin with an
+// event tracer attached: a full recording window keeps dropping events,
+// and an open window appends into preallocated storage — neither may
+// allocate. (The metrics registry is always attached: New registers it.)
+func TestAccessL2AllocFreeWithTracer(t *testing.T) {
+	s, limit := allocTestSystem(t)
+	s.SetTracer(metrics.NewTracer(1 << 16))
+	avg := testing.AllocsPerRun(10, func() {
+		*limit += 20_000
+		s.eng.RunUntil(*limit)
+	})
+	if avg != 0 {
+		t.Fatalf("traced translation path allocates: %.1f allocs per 20k cycles, want 0", avg)
 	}
 }
 

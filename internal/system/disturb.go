@@ -142,6 +142,7 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 	if len(invs) == 0 {
 		return s.eng.Now()
 	}
+	s.m.invLat.Observe(uint64(len(invs)))
 
 	// How many relayed messages reach the shared structure per
 	// invalidation, and the relay serialization at leader cores.
@@ -172,20 +173,20 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 				bank = s.bankFor(vm.VirtAddr(inv.VPN << inv.Size.Shift()))
 			}
 			bankCharges[bank] += senders
-			s.shootdowns += uint64(senders)
+			s.m.shootdowns.Add(uint64(senders))
 		case s.slices != nil:
 			if inv.FullFlush {
 				for i, sl := range s.slices {
 					sl.Apply(inv)
 					sliceCharges[i]++
 				}
-				s.shootdowns += uint64(len(s.slices))
+				s.m.shootdowns.Add(uint64(len(s.slices)))
 				continue
 			}
 			home := s.homeSlice(vm.VirtAddr(inv.VPN << inv.Size.Shift()))
 			s.slices[home].Apply(inv)
 			sliceCharges[home] += senders
-			s.shootdowns += uint64(senders)
+			s.m.shootdowns.Add(uint64(senders))
 		default:
 			// Private org: every core's private L2 TLB performs the
 			// invalidation lookup, occupying its port — IPI shootdowns
@@ -194,7 +195,7 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 				c.privL2.Apply(inv)
 			}
 			privCharges++
-			s.shootdowns++
+			s.m.shootdowns.Inc()
 		}
 	}
 

@@ -3,6 +3,7 @@ package system
 import (
 	"nocstar/internal/energy"
 	"nocstar/internal/engine"
+	"nocstar/internal/metrics"
 	"nocstar/internal/noc"
 	"nocstar/internal/tlb"
 	"nocstar/internal/vm"
@@ -20,7 +21,7 @@ func (s *System) accessL2(x *xact) {
 	th := x.th
 	s.ensureMapped(th.app, x.va)
 	x.start = s.eng.Now()
-	s.l2Accesses++
+	s.m.l2Accesses.Inc()
 	s.outstanding++
 	s.conc.Observe(s.outstanding)
 
@@ -80,7 +81,12 @@ func (s *System) scheduleWalk(c *core, x *xact, op uint8) {
 	if !ok {
 		panic("system: walk of unmapped address (ensureMapped missing)")
 	}
-	s.walks++
+	s.m.walks.Inc()
+	s.m.walkLat.Observe(uint64(lat))
+	if s.tracer != nil {
+		s.tracer.Emit(metrics.TraceWalk, uint64(s.eng.Now()), uint64(lat),
+			int32(c.id), int32(x.slice))
+	}
 	x.res = res
 	s.eng.ScheduleAct(engine.Cycle(lat), s, op, x)
 }
@@ -155,7 +161,7 @@ func (s *System) insertTranslation(th *thread, va vm.VirtAddr, res vm.WalkResult
 				ns = s.sliceFor(th, nva)
 			}
 			s.insertOne(th, a, nvpn, size, uint64(pa)>>size.Shift(), ns)
-			s.prefetches++
+			s.m.prefetches.Inc()
 		}
 	}
 }
@@ -188,14 +194,13 @@ func (s *System) privateAccess(x *xact) {
 
 	e, hit := c.privL2.Lookup(th.app.as.Ctx, x.va)
 	if hit {
-		s.l2Hits++
-		s.accessCycles += uint64(lookupDone - x.start)
-		s.hitCount++
+		s.m.l2Hits.Inc()
+		s.noteHit(x, lookupDone)
 		x.entry = e
 		s.eng.AtAct(lookupDone, s, opHitDone, x)
 		return
 	}
-	s.l2Misses++
+	s.noteMiss(x)
 	s.eng.AtAct(lookupDone, s, opLocalMiss, x)
 }
 
@@ -220,8 +225,8 @@ func (s *System) monoAccess(x *xact) {
 	}
 	x.hops = s.geo.Hops(x.src, x.dst)
 	s.meter.AddMessage(energy.MonolithicMessage(2*x.hops, 0))
-	s.netCycles += uint64(2 * x.oneWay)
-	s.remoteCount++
+	s.m.netLat.Observe(uint64(2 * x.oneWay))
+	s.m.remote.Inc()
 
 	arrive := x.start + engine.Cycle(x.oneWay)
 	avail := arrive
@@ -238,14 +243,13 @@ func (s *System) monoAccess(x *xact) {
 	e, hit := s.mono.Lookup(th.app.as.Ctx, x.va)
 	if hit {
 		resume := lookupDone + engine.Cycle(x.oneWay)
-		s.l2Hits++
-		s.accessCycles += uint64(resume - x.start)
-		s.hitCount++
+		s.m.l2Hits.Inc()
+		s.noteHit(x, resume)
 		x.entry = e
 		s.eng.AtAct(resume, s, opHitDone, x)
 		return
 	}
-	s.l2Misses++
+	s.noteMiss(x)
 	if s.cfg.Policy == WalkAtRemote {
 		x.wcore = s.cores[int(x.dst)]
 		s.eng.AtAct(lookupDone, s, opRemoteWalkStart, x)
@@ -285,26 +289,25 @@ func (s *System) distAccess(x *xact) {
 		x.oneWay = s.mesh.Latency(x.src, x.dst)
 	}
 	if x.src == x.dst {
-		s.localSlice++
+		s.m.localSlice.Inc()
 	} else {
 		x.hops = s.geo.Hops(x.src, x.dst)
 		s.meter.AddMessage(energy.DistributedMessage(2*x.hops, 0))
-		s.netCycles += uint64(2 * x.oneWay)
-		s.remoteCount++
+		s.m.netLat.Observe(uint64(2 * x.oneWay))
+		s.m.remote.Inc()
 	}
 
 	arrive := x.start + engine.Cycle(x.oneWay)
 	doneAt, e, hit := s.sliceLookup(th.app, x.va, slice, arrive)
 	if hit {
 		resume := doneAt + engine.Cycle(x.oneWay)
-		s.l2Hits++
-		s.accessCycles += uint64(resume - x.start)
-		s.hitCount++
+		s.m.l2Hits.Inc()
+		s.noteHit(x, resume)
 		x.entry = e
 		s.eng.AtAct(resume, s, opHitDone, x)
 		return
 	}
-	s.l2Misses++
+	s.noteMiss(x)
 	if s.cfg.Policy == WalkAtRemote && x.src != x.dst {
 		x.wcore = s.cores[slice]
 		s.eng.AtAct(doneAt, s, opRemoteWalkStart, x)
@@ -351,22 +354,21 @@ func (s *System) nocstarAccess(x *xact) {
 	if x.src == x.dst {
 		// Local slice: identical to a private L2 TLB access (Fig. 11a
 		// "Case 1").
-		s.localSlice++
+		s.m.localSlice.Inc()
 		doneAt, e, hit := s.sliceLookup(th.app, x.va, slice, x.start)
 		if hit {
-			s.l2Hits++
-			s.accessCycles += uint64(doneAt - x.start)
-			s.hitCount++
+			s.m.l2Hits.Inc()
+			s.noteHit(x, doneAt)
 			x.entry = e
 			s.eng.AtAct(doneAt, s, opHitDone, x)
 			return
 		}
-		s.l2Misses++
+		s.noteMiss(x)
 		s.eng.AtAct(doneAt, s, opLocalMiss, x)
 		return
 	}
 
-	s.remoteCount++
+	s.m.remote.Inc()
 	x.hops = s.geo.Hops(x.src, x.dst)
 	s.meter.AddMessage(energy.NocstarMessage(2*x.hops, 0))
 
@@ -377,6 +379,7 @@ func (s *System) nocstarAccess(x *xact) {
 		// estimated queue, lookup, response traversal.
 		hold = engine.Cycle(2*trav+s.sliceLat) + 2
 	}
+	x.hold = hold
 	s.fabric.RequestPathTo(x.src, x.dst, hold, s, grantRequest, x)
 }
 
@@ -385,16 +388,22 @@ func (s *System) nocstarAccess(x *xact) {
 // slice at the end of traversal, and the lookup may start the following
 // cycle.
 func (s *System) nocstarGranted(x *xact, gotTrav int) {
+	if s.cfg.Acquire == noc.RoundTripAcquire {
+		// The grant was delivered one cycle after arbitration reserved the
+		// links through (arbitration cycle + hold); remember that window so
+		// the eventual release frees exactly this grant's reservations.
+		x.relUntil = s.eng.Now() - 1 + x.hold
+	}
 	arrive := s.eng.Now() + engine.Cycle(gotTrav-1)
 	doneAt, e, hit := s.sliceLookup(x.th.app, x.va, x.slice, arrive+1)
 	if hit {
-		s.l2Hits++
+		s.m.l2Hits.Inc()
 		x.entry = e
 		x.arrived = arrHit
 		s.sendNocstarResponse(x, doneAt)
 		return
 	}
-	s.l2Misses++
+	s.noteMiss(x)
 	if s.cfg.Policy == WalkAtRemote {
 		x.wcore = s.cores[x.slice]
 		s.eng.AtAct(doneAt, s, opRemoteWalkStart, x)
@@ -435,8 +444,7 @@ func (s *System) sendNocstarResponse(x *xact, readyAt engine.Cycle) {
 func (s *System) nocstarArrived(x *xact, back engine.Cycle) {
 	switch x.arrived {
 	case arrHit:
-		s.accessCycles += uint64(back - x.start)
-		s.hitCount++
+		s.noteHit(x, back)
 		s.eng.AtAct(back, s, opHitDone, x)
 	case arrMiss:
 		s.eng.AtAct(back, s, opLocalMiss, x)

@@ -2,6 +2,7 @@ package system
 
 import (
 	"nocstar/internal/energy"
+	"nocstar/internal/metrics"
 	"nocstar/internal/noc"
 	"nocstar/internal/ptw"
 	"nocstar/internal/stats"
@@ -61,6 +62,10 @@ type Result struct {
 	Noc noc.NocstarStats
 	// PTW aggregates walker statistics across cores.
 	PTW ptw.Stats
+
+	// Metrics is the frozen registry snapshot: every named counter and
+	// latency histogram the run observed, in stable sorted order.
+	Metrics metrics.Snapshot
 }
 
 // L1MissRate is misses per memory reference.

@@ -6,6 +6,7 @@ import (
 	"nocstar/internal/cache"
 	"nocstar/internal/energy"
 	"nocstar/internal/engine"
+	"nocstar/internal/metrics"
 	"nocstar/internal/noc"
 	"nocstar/internal/ptw"
 	"nocstar/internal/sram"
@@ -49,11 +50,11 @@ type thread struct {
 	core *core
 	gen  workload.Stream
 
-	refsLeft    uint64
+	refsLeft     uint64
 	cyclesPerRef float64
-	carry       float64
-	stall       uint64
-	finished    bool
+	carry        float64
+	stall        uint64
+	finished     bool
 }
 
 // System is one configured machine mid-run.
@@ -84,25 +85,17 @@ type System struct {
 	leaderOf   []int // core -> leader core
 	leaderFree []engine.Cycle
 
-	// Live counters.
-	outstanding  int
-	sliceOut     []int
-	conc         stats.ConcurrencyHist
-	sliceConc    stats.ConcurrencyHist
-	memRefs      uint64
-	l1Misses     uint64
-	l2Accesses   uint64
-	l2Hits       uint64
-	l2Misses     uint64
-	walks        uint64
-	localSlice   uint64
-	prefetches   uint64
-	shootdowns   uint64
-	accessCycles uint64 // lookup+net+queue cycles, hits only
-	hitCount     uint64
-	netCycles    uint64
-	remoteCount  uint64
-	meter        energy.Meter
+	// Live accounting. The named counters and latency histograms that
+	// used to be loose uint64 fields live in the metrics registry; m
+	// holds their typed handles for direct hot-path increments.
+	outstanding int
+	sliceOut    []int
+	conc        stats.ConcurrencyHist
+	sliceConc   stats.ConcurrencyHist
+	reg         *metrics.Registry
+	m           sysMetrics
+	tracer      *metrics.Tracer
+	meter       energy.Meter
 
 	threadsLive int
 
@@ -125,6 +118,7 @@ func New(cfg Config) (*System, error) {
 		geo: noc.GridFor(cfg.Cores),
 		rng: engine.NewRand(cfg.Seed),
 	}
+	s.initMetrics()
 
 	sizing := tlb.DefaultL1Sizing().Scale(cfg.L1Scale)
 	s.sliceLat = sram.AccessCycles(cfg.L2EntriesPerCore)
@@ -196,6 +190,9 @@ func New(cfg Config) (*System, error) {
 		}
 	default:
 		return nil, fmt.Errorf("system: unknown organization %v", cfg.Org)
+	}
+	if s.fabric != nil {
+		s.fabric.AttachMetrics(s.reg)
 	}
 
 	// Shootdown invalidation leaders (Section III-G): core i reports to
@@ -310,11 +307,11 @@ func (s *System) threadLoop(th *thread) {
 		carry += th.cyclesPerRef
 		th.refsLeft--
 		va := th.gen.Next()
-		s.memRefs++
+		s.m.memRefs.Inc()
 		if _, ok := th.core.l1.Lookup(ctx, va); ok {
 			continue
 		}
-		s.l1Misses++
+		s.m.l1Misses.Inc()
 		whole := engine.Cycle(carry)
 		th.carry = carry - float64(whole)
 		x := s.getXact()
@@ -360,23 +357,27 @@ func (s *System) collect() Result {
 	if r.Cycles > 0 {
 		r.IPC = float64(r.Instructions) / float64(r.Cycles)
 	}
-	r.MemRefs = s.memRefs
-	r.L1Misses = s.l1Misses
-	r.L2Accesses = s.l2Accesses
-	r.L2Hits = s.l2Hits
-	r.L2Misses = s.l2Misses
-	r.Walks = s.walks
-	r.LocalSlice = s.localSlice
-	r.Prefetches = s.prefetches
-	r.Shootdowns = s.shootdowns
+	r.MemRefs = s.m.memRefs.Value()
+	r.L1Misses = s.m.l1Misses.Value()
+	r.L2Accesses = s.m.l2Accesses.Value()
+	r.L2Hits = s.m.l2Hits.Value()
+	r.L2Misses = s.m.l2Misses.Value()
+	r.Walks = s.m.walks.Value()
+	r.LocalSlice = s.m.localSlice.Value()
+	r.Prefetches = s.m.prefetches.Value()
+	r.Shootdowns = s.m.shootdowns.Value()
 	for _, th := range s.threads {
 		r.StallCycles += th.stall
 	}
-	if s.hitCount > 0 {
-		r.AvgL2AccessCycles = float64(s.accessCycles) / float64(s.hitCount)
+	if s.m.hitLat.Count() > 0 {
+		r.AvgL2AccessCycles = float64(s.m.hitLat.Sum()) / float64(s.m.hitLat.Count())
 	}
-	if s.remoteCount > 0 {
-		r.AvgNetCycles = float64(s.netCycles) / float64(s.remoteCount)
+	// The round-trip histogram only observes mesh/SMART traversals (the
+	// NOCSTAR fabric accounts its own network time in Noc), so the
+	// divisor is the remote-access counter, preserving the legacy
+	// AvgNetCycles semantics exactly.
+	if remote := s.m.remote.Value(); remote > 0 {
+		r.AvgNetCycles = float64(s.m.netLat.Sum()) / float64(remote)
 	}
 	r.Conc = s.conc
 	r.SliceConc = s.sliceConc
@@ -396,6 +397,8 @@ func (s *System) collect() Result {
 	}
 	s.chargeEnergy(&r)
 	r.Energy = s.meter
+	s.collectLayerMetrics()
+	r.Metrics = s.reg.Snapshot()
 	return r
 }
 

@@ -29,6 +29,12 @@ type xact struct {
 	readyAt engine.Cycle  // NOCSTAR response payload-ready cycle
 	arrived uint8         // arr* selector: what to do when the response lands
 
+	// Round-trip path bookkeeping: the requested hold, and the grant's
+	// reservation window (reservedUntil value) so the early release frees
+	// only this grant's links.
+	hold     engine.Cycle
+	relUntil engine.Cycle
+
 	next *xact
 }
 
@@ -122,7 +128,7 @@ func (s *System) Act(op uint8, arg any) {
 		s.fabric.RequestPathTo(x.dst, x.src,
 			s.fabric.HoldCyclesOneWay(x.dst, x.src), s, grantResponse, x)
 	case opNocRelease:
-		s.fabric.Release(x.src, x.dst)
+		s.fabric.Release(x.src, x.dst, x.relUntil)
 	default:
 		panic("system: unknown op")
 	}

@@ -31,9 +31,9 @@ func levelIndex(va VirtAddr, level int) int {
 type pte uint64
 
 const (
-	ptePresent pte = 1 << 0
-	pteLeaf    pte = 1 << 1
-	ptePFNShift    = 2
+	ptePresent  pte = 1 << 0
+	pteLeaf     pte = 1 << 1
+	ptePFNShift     = 2
 )
 
 func (e pte) present() bool { return e&ptePresent != 0 }
@@ -109,7 +109,7 @@ func (a *FrameAlloc) Allocated(start uint64) uint64 {
 type WalkResult struct {
 	PA       PhysAddr
 	Size     PageSize
-	Levels   int              // number of memory references the walk made
+	Levels   int // number of memory references the walk made
 	PTEAddrs [ptLevels]PhysAddr
 }
 

@@ -10,11 +10,11 @@ type AddressSpace struct {
 	Ctx ContextID
 	PT  *PageTable
 
-	frames  *FrameAlloc // 4K data frames
-	tables  *FrameAlloc // page-table pages
-	next2M  uint64      // 2M page counter
-	next1G  uint64      // 1G page counter
-	region  uint64      // per-space physical region selector
+	frames *FrameAlloc // 4K data frames
+	tables *FrameAlloc // page-table pages
+	next2M uint64      // 2M page counter
+	next1G uint64      // 1G page counter
+	region uint64      // per-space physical region selector
 }
 
 // Physical layout: bits 56-48 select the address space's region; within a

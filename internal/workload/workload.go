@@ -182,7 +182,7 @@ func PageSlot(idx, pages uint64) uint64 {
 	groups := span / LineCluster
 	group := idx / LineCluster
 	off := idx % LineCluster
-	return group * scatterStride(groups) % groups * LineCluster + off
+	return group*scatterStride(groups)%groups*LineCluster + off
 }
 
 // Region is a virtual range of the workload, used by the OS model to

@@ -1,9 +1,22 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt vet staticcheck test race bench bench-engine alloc smoke profile ci clean
+.PHONY: all help build fmt vet staticcheck test race bench bench-engine alloc check fuzz smoke profile ci clean
 
 all: build vet test
+
+help:
+	@echo "nocstar targets:"
+	@echo "  build        compile all packages"
+	@echo "  test         run the full test suite"
+	@echo "  race         full test suite under the race detector"
+	@echo "  bench        short performance smoke benchmarks"
+	@echo "  alloc        zero-allocation gates for the translation critical path"
+	@echo "  check        invariant-checker gate: shadow-oracle runs + fuzz seed corpora"
+	@echo "  fuzz         open-ended randomized checking (grows fuzz corpora)"
+	@echo "  smoke        end-to-end report-pipeline smoke run"
+	@echo "  profile      CPU/heap profiles of the Table III sweep"
+	@echo "  ci           build fmt vet staticcheck race bench alloc check smoke"
 
 build:
 	$(GO) build ./...
@@ -49,6 +62,21 @@ alloc:
 	$(GO) test -run 'TestRequestPathAllocFree' -count 1 -v ./internal/noc/
 	$(GO) test -run 'TestAccessL2AllocFree' -count 1 -v ./internal/system/
 
+# The invariant-checker gate (internal/check): the checker's own unit and
+# circuit-shadow tests, every organization run under the shadow oracle
+# (including the PR 3 legacy-release reintroduction), and the fuzz seed
+# corpora of the page-table and checked-system fuzzers. Deterministic —
+# `go test` executes fuzz targets over their seeds only.
+check:
+	$(GO) test -count 1 ./internal/check/
+	$(GO) test -count 1 -run 'TestChecked|TestCheckerCatches|TestMonoFullFlush|TestStormContextSwitch|FuzzCheckedSystem' ./internal/system/
+	$(GO) test -count 1 -run 'TestPromote2M|FuzzPageTable' ./internal/vm/
+
+# Open-ended randomized checking (not part of ci): grow the fuzz corpora.
+fuzz:
+	cd internal/vm && $(GO) test -fuzz FuzzPageTable -fuzztime 30s .
+	cd internal/system && $(GO) test -fuzz FuzzCheckedSystem -fuzztime 60s -run FuzzCheckedSystem .
+
 # End-to-end smoke of the report pipeline: tiny run, JSON document out.
 smoke:
 	$(GO) run ./cmd/nocstar-exp -quiet -instr 2000 -report /tmp/nocstar-report.json fig12
@@ -63,7 +91,7 @@ profile:
 		-o profiles/nocstar.test .
 	@echo "inspect with: go tool pprof -top profiles/nocstar.test profiles/cpu.out"
 
-ci: build fmt vet staticcheck race bench alloc smoke
+ci: build fmt vet staticcheck race bench alloc check smoke
 
 clean:
 	$(GO) clean ./...

@@ -161,6 +161,7 @@ type Engine struct {
 	finalizerFree []func()
 	processed     uint64
 	observe       func(when Cycle, seq uint64)
+	check         func(when Cycle, seq uint64)
 }
 
 // SetObserver installs fn, invoked immediately before every ordinary
@@ -171,6 +172,16 @@ type Engine struct {
 // observed.
 func (e *Engine) SetObserver(fn func(when Cycle, seq uint64)) {
 	e.observe = fn
+}
+
+// SetCheck installs fn as the engine's invariant-check hook: like the
+// observer it receives every executed event's (cycle, seq) immediately
+// before the event runs, but it is a separate slot so golden-order
+// tracing (SetObserver) and invariant checking (internal/check) can be
+// attached to the same run independently. A nil fn removes the hook.
+// With no hook installed the event loop pays one predictable branch.
+func (e *Engine) SetCheck(fn func(when Cycle, seq uint64)) {
+	e.check = fn
 }
 
 // New returns an engine with the clock at cycle 0 and no pending events.
@@ -302,6 +313,9 @@ func (e *Engine) step() bool {
 			e.processed++
 			if e.observe != nil {
 				e.observe(e.now, ev.seq)
+			}
+			if e.check != nil {
+				e.check(e.now, ev.seq)
 			}
 			if ev.fn != nil {
 				ev.fn()

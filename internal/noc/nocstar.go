@@ -75,6 +75,18 @@ func (s NocstarStats) AvgNetworkLatency() float64 {
 	return float64(s.TotalSetupDelay+s.TotalTraversal) / float64(s.Messages)
 }
 
+// CircuitObserver observes the fabric's reservation state changes, for
+// invariant checking (internal/check): CircuitGranted runs after a
+// grant reserves its links through cycle until, CircuitReleased after
+// an early Release for the hold window ending at until has been
+// processed. links is shared route-table storage and must not be
+// retained or written. The observer is never invoked on an Ideal
+// fabric, which keeps no reservations.
+type CircuitObserver interface {
+	CircuitGranted(src, dst NodeID, links []LinkID, now, until engine.Cycle)
+	CircuitReleased(src, dst NodeID, links []LinkID, now, until engine.Cycle)
+}
+
 // GrantHandler receives path grants from typed setup requests. Like
 // engine.Actor, the (handler, op, arg) triple replaces a captured
 // closure: the handler is a persistent model object, op selects the
@@ -128,10 +140,18 @@ type Nocstar struct {
 	free          *setupReq
 	stats         NocstarStats
 
-	// Optional observability, attached before the run starts. Both are
+	// Optional observability, attached before the run starts. All are
 	// nil-checked on the hot path; detached costs one branch.
 	setupHist *metrics.Hist   // cycles from first request to grant
 	tracer    *metrics.Tracer // path setup/grant/release events
+	observer  CircuitObserver // reservation invariant checking
+
+	// legacyRelease restores the pre-fix unconditional rewind in Release
+	// — the PR 3 clobber bug, where a late round-trip release freed links
+	// a later grant had re-reserved. It exists only so the invariant
+	// checker's regression test can demonstrate the historical bug is
+	// caught; never set it outside tests.
+	legacyRelease bool
 }
 
 // NewNocstar builds the fabric on an engine.
@@ -161,6 +181,20 @@ func (n *Nocstar) AttachMetrics(reg *metrics.Registry) {
 
 // SetTracer attaches an event tracer (nil detaches).
 func (n *Nocstar) SetTracer(tr *metrics.Tracer) { n.tracer = tr }
+
+// SetCircuitObserver attaches a reservation observer (nil detaches).
+// Call before the run starts.
+func (n *Nocstar) SetCircuitObserver(o CircuitObserver) { n.observer = o }
+
+// ReservedUntil reports the last cycle link l is currently held
+// through. It exposes the fabric's reservation state read-only so an
+// observer can cross-check its own shadow copy.
+func (n *Nocstar) ReservedUntil(l LinkID) engine.Cycle { return n.reservedUntil[l] }
+
+// SetLegacyReleaseForTest switches Release to the pre-fix unconditional
+// rewind (the PR 3 clobber bug). Test-only: it exists so the invariant
+// checker can be validated against a known historical bug.
+func (n *Nocstar) SetLegacyReleaseForTest(on bool) { n.legacyRelease = on }
 
 // TraversalCycles returns the datapath cycles for h hops: a single cycle
 // when the path fits within HPCmax, one more per additional HPCmax-hop
@@ -325,6 +359,9 @@ func (n *Nocstar) granted(req *setupReq, now engine.Cycle) bool {
 		for _, l := range req.links {
 			n.reservedUntil[l] = until
 		}
+		if n.observer != nil {
+			n.observer.CircuitGranted(req.src, req.dst, req.links, now, until)
+		}
 	}
 	n.stats.Messages++
 	setupDelay := uint64(now-req.firstTry) + 1
@@ -364,17 +401,23 @@ func (n *Nocstar) granted(req *setupReq, now engine.Cycle) bool {
 func (n *Nocstar) Release(src, dst NodeID, until engine.Cycle) {
 	now := n.eng.Now()
 	n.stats.Releases++
-	for _, l := range n.routes.route(src, dst) {
+	links := n.routes.route(src, dst)
+	for _, l := range links {
 		switch {
 		case n.reservedUntil[l] <= now:
 			// Already expired or never held; nothing to free.
-		case n.reservedUntil[l] == until:
+		case n.legacyRelease || n.reservedUntil[l] == until:
+			// The legacy arm is the PR 3 bug: rewind whatever is held,
+			// even a later grant's reservation on a shared segment.
 			n.reservedUntil[l] = now
 			n.stats.ReleasedLinks++
 		default:
 			// A later grant owns this link now.
 			n.stats.ForeignLinks++
 		}
+	}
+	if n.observer != nil && !n.cfg.Ideal {
+		n.observer.CircuitReleased(src, dst, links, now, until)
 	}
 	if n.tracer != nil {
 		n.tracer.Emit(metrics.TraceRelease, uint64(now), 0, int32(src), int32(dst))

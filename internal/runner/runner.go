@@ -242,8 +242,12 @@ func Map[T, R any](r *Runner, items []T, fn func(T) R) []R {
 
 // Key returns a canonical dedup key for cfg. ok is false when the config
 // cannot be keyed — it carries live address streams, whose behaviour is
-// not captured by the config value — in which case every submission runs.
+// not captured by the config value, or an attached Checker, which
+// accumulates per-run state — in which case every submission runs.
 func Key(cfg system.Config) (key string, ok bool) {
+	if cfg.Check != nil {
+		return "", false
+	}
 	for _, a := range cfg.Apps {
 		if a.Streams != nil {
 			return "", false
@@ -254,6 +258,7 @@ func Key(cfg system.Config) (key string, ok bool) {
 	scrub := cfg
 	scrub.Apps = nil
 	scrub.Storm = nil
+	scrub.Check = nil
 	var b strings.Builder
 	fmt.Fprintf(&b, "%+v", scrub)
 	for _, a := range cfg.Apps {

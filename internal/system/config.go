@@ -11,6 +11,7 @@ package system
 import (
 	"fmt"
 
+	"nocstar/internal/check"
 	"nocstar/internal/noc"
 	"nocstar/internal/ptw"
 	"nocstar/internal/workload"
@@ -171,6 +172,14 @@ type Config struct {
 	ShootdownInterval uint64
 	// Storm optionally enables the TLB-storm co-run.
 	Storm *StormConfig
+	// Check, when non-nil, attaches the differential-oracle and
+	// invariant checker (internal/check) to the run: every served
+	// translation is verified against the page table, NOCSTAR circuit
+	// reservations are shadowed, and timing horizons are asserted
+	// monotone. One Checker serves exactly one run. Nil (the default)
+	// keeps the translation critical path allocation-free; the runner
+	// never dedups or memoizes checked configs.
+	Check *check.Checker
 	// Seed drives all pseudo-randomness; equal seeds replay identically.
 	Seed int64
 }

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"nocstar/internal/check"
 	"nocstar/internal/engine"
 	"nocstar/internal/vm"
 	"nocstar/internal/workload"
@@ -107,11 +108,18 @@ func (s *System) stormContextSwitch() {
 	if s.threadsLive == 0 {
 		return
 	}
+	if s.check != nil {
+		s.check.FlushedAll()
+	}
 	for _, c := range s.cores {
 		c.l1.Flush()
 		c.walker.InvalidatePWC()
 		if c.privL2 != nil {
+			// The private L2 TLB's port performs the flush too: the
+			// private baseline does not get context switches for free
+			// while the shared organizations pay theirs below.
 			c.privL2.Flush()
+			s.chargePrivPort(c, 4)
 		}
 	}
 	if s.mono != nil {
@@ -160,6 +168,9 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 	privCharges := 0
 
 	for _, inv := range invs {
+		if s.check != nil {
+			s.check.Invalidated(inv)
+		}
 		for _, c := range s.cores {
 			c.l1.Apply(inv)
 			c.walker.InvalidatePWC()
@@ -168,12 +179,20 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 		switch {
 		case s.mono != nil:
 			s.mono.Apply(inv)
-			bank := 0
-			if !inv.FullFlush {
-				bank = s.bankFor(vm.VirtAddr(inv.VPN << inv.Size.Shift()))
+			if inv.FullFlush {
+				// The flush scrubs every bank's share of the array, so
+				// every bank's port is busy — mirroring the sliced
+				// branch below, which charges every slice.
+				for b := range s.bankPortFree {
+					bankCharges[b]++
+				}
+				s.m.shootdowns.Add(uint64(s.cfg.Banks))
+				continue
 			}
+			bank := s.bankFor(vm.VirtAddr(inv.VPN << inv.Size.Shift()))
 			bankCharges[bank] += senders
 			s.m.shootdowns.Add(uint64(senders))
+			s.checkScrubbed(inv, -1, true)
 		case s.slices != nil:
 			if inv.FullFlush {
 				for i, sl := range s.slices {
@@ -187,6 +206,7 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 			s.slices[home].Apply(inv)
 			sliceCharges[home] += senders
 			s.m.shootdowns.Add(uint64(senders))
+			s.checkScrubbed(inv, home, false)
 		default:
 			// Private org: every core's private L2 TLB performs the
 			// invalidation lookup, occupying its port — IPI shootdowns
@@ -196,6 +216,7 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 			}
 			privCharges++
 			s.m.shootdowns.Inc()
+			s.checkScrubbed(inv, -1, false)
 		}
 	}
 
@@ -228,18 +249,42 @@ func (s *System) deliverInvalidations(invs []vm.Invalidation) engine.Cycle {
 		if cap := s.cores[0].privL2.Sets() + 1; n > cap {
 			n = cap
 		}
-		now := s.eng.Now()
 		for _, c := range s.cores {
-			if c.privPortFree < now {
-				c.privPortFree = now
-			}
-			c.privPortFree += engine.Cycle(n)
+			s.chargePrivPort(c, n)
 			if c.privPortFree > horizon {
 				horizon = c.privPortFree
 			}
 		}
 	}
 	return horizon
+}
+
+// checkScrubbed asserts (checker runs only) that after a targeted
+// invalidation no L1 TLB — nor the invalidation's home structure —
+// still serves the scrubbed translation. slice names the home slice
+// (-1: none); bank is true when the monolithic TLB was the target.
+func (s *System) checkScrubbed(inv vm.Invalidation, slice int, bank bool) {
+	if s.check == nil || inv.FullFlush {
+		return
+	}
+	for _, c := range s.cores {
+		if c.l1.Probe(inv.Ctx, inv.VPN, inv.Size) {
+			s.check.Violatef("core %d L1 TLB still holds ctx=%d vpn=%#x size=%v after invalidation",
+				c.id, inv.Ctx, inv.VPN, inv.Size)
+		}
+		if c.privL2 != nil && c.privL2.Probe(inv.Ctx, inv.VPN, inv.Size) {
+			s.check.Violatef("core %d private L2 TLB still holds ctx=%d vpn=%#x size=%v after invalidation",
+				c.id, inv.Ctx, inv.VPN, inv.Size)
+		}
+	}
+	if bank && s.mono.Probe(inv.Ctx, inv.VPN, inv.Size) {
+		s.check.Violatef("monolithic TLB still holds ctx=%d vpn=%#x size=%v after invalidation",
+			inv.Ctx, inv.VPN, inv.Size)
+	}
+	if slice >= 0 && s.slices[slice].Probe(inv.Ctx, inv.VPN, inv.Size) {
+		s.check.Violatef("slice %d still holds ctx=%d vpn=%#x size=%v after invalidation",
+			slice, inv.Ctx, inv.VPN, inv.Size)
+	}
 }
 
 // chargeSlicePort makes the slice's ports busy for n extra cycles.
@@ -249,6 +294,9 @@ func (s *System) chargeSlicePort(slice, n int) {
 		s.slicePortFree[slice] = now
 	}
 	s.slicePortFree[slice] += engine.Cycle(n)
+	if s.check != nil {
+		s.check.Port(check.PortSlice, slice, s.slicePortFree[slice])
+	}
 }
 
 // chargeSlicePortIfAny is chargeSlicePort guarded for organizations
@@ -267,4 +315,20 @@ func (s *System) chargeBankPort(bank, n int) {
 		s.bankPortFree[bank] = now
 	}
 	s.bankPortFree[bank] += engine.Cycle(n)
+	if s.check != nil {
+		s.check.Port(check.PortBank, bank, s.bankPortFree[bank])
+	}
+}
+
+// chargePrivPort makes a core's private L2 TLB port busy for n extra
+// cycles.
+func (s *System) chargePrivPort(c *core, n int) {
+	now := s.eng.Now()
+	if c.privPortFree < now {
+		c.privPortFree = now
+	}
+	c.privPortFree += engine.Cycle(n)
+	if s.check != nil {
+		s.check.Port(check.PortPriv, c.id, c.privPortFree)
+	}
 }

@@ -1,0 +1,71 @@
+package system
+
+import (
+	"testing"
+
+	"nocstar/internal/vm"
+)
+
+// TestMonoFullFlushChargesAllBanks is the regression test for the
+// shootdown cost-model bug where a FullFlush on the monolithic
+// organization charged only bank 0's port: the flush scrubs every bank's
+// share of the array, so every bank must be busy, exactly like the
+// sliced organizations charge every slice.
+func TestMonoFullFlushChargesAllBanks(t *testing.T) {
+	s, err := New(smallConfig(MonolithicMesh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush := []vm.Invalidation{{Ctx: 1, FullFlush: true}}
+	monoHorizon := s.deliverInvalidations(flush)
+	for b, free := range s.bankPortFree {
+		if free != 1 {
+			t.Fatalf("bank %d port free = %d after full flush, want 1 (every bank charged once)",
+				b, free)
+		}
+	}
+	// The monolithic horizon now matches the sliced organizations': one
+	// coalesced scrub per bank/slice, regardless of the core count that
+	// used to be charged to bank 0 alone.
+	d, err := New(smallConfig(DistributedMesh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slicedHorizon := d.deliverInvalidations(flush); monoHorizon != slicedHorizon {
+		t.Fatalf("full-flush horizons diverge: monolithic %d vs sliced %d",
+			monoHorizon, slicedHorizon)
+	}
+}
+
+// TestStormContextSwitchChargesPrivatePorts is the regression test for
+// the storm cost-model bug where a context switch flushed private L2
+// TLBs for free while charging the shared organizations' banks and
+// slices 4 cycles each.
+func TestStormContextSwitchChargesPrivatePorts(t *testing.T) {
+	cfg := smallConfig(Private)
+	cfg.Storm = &StormConfig{ContextSwitchInterval: 1000, PromoteDemoteInterval: 1000, Pages: 512}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.stormContextSwitch()
+	for _, c := range s.cores {
+		if c.privPortFree != 4 {
+			t.Fatalf("core %d private port free = %d after storm context switch, want 4",
+				c.id, c.privPortFree)
+		}
+	}
+	// Shared organizations keep paying the same flush cost.
+	mcfg := smallConfig(MonolithicMesh)
+	mcfg.Storm = cfg.Storm
+	m, err := New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.stormContextSwitch()
+	for b, free := range m.bankPortFree {
+		if free != 4 {
+			t.Fatalf("bank %d port free = %d after storm context switch, want 4", b, free)
+		}
+	}
+}

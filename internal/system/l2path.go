@@ -1,6 +1,7 @@
 package system
 
 import (
+	"nocstar/internal/check"
 	"nocstar/internal/energy"
 	"nocstar/internal/engine"
 	"nocstar/internal/metrics"
@@ -63,6 +64,9 @@ func (s *System) resumeWithEntry(x *xact) {
 	th := x.th
 	e := x.entry
 	th.core.l1.Insert(th.app.as.Ctx, e.VPN, e.Size, e.PFN)
+	if s.check != nil {
+		s.check.Inserted(th.app.as.Ctx, e.VPN, e.Size)
+	}
 	s.finish(x)
 }
 
@@ -71,6 +75,9 @@ func (s *System) resumeWithWalk(x *xact) {
 	th := x.th
 	size := x.res.Size
 	th.core.l1.Insert(th.app.as.Ctx, x.va.VPN(size), size, uint64(x.res.PA)>>size.Shift())
+	if s.check != nil {
+		s.check.Inserted(th.app.as.Ctx, x.va.VPN(size), size)
+	}
 	s.finish(x)
 }
 
@@ -88,6 +95,9 @@ func (s *System) scheduleWalk(c *core, x *xact, op uint8) {
 			int32(c.id), int32(x.slice))
 	}
 	x.res = res
+	if s.check != nil {
+		s.check.WalkResult(x.th.app.as, x.va, res)
+	}
 	s.eng.ScheduleAct(engine.Cycle(lat), s, op, x)
 }
 
@@ -176,6 +186,9 @@ func (s *System) insertOne(th *thread, a *app, vpn uint64, size vm.PageSize, pfn
 	case s.slices != nil:
 		s.slices[slice].Insert(a.as.Ctx, vpn, size, pfn)
 	}
+	if s.check != nil {
+		s.check.Inserted(a.as.Ctx, vpn, size)
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -190,10 +203,16 @@ func (s *System) privateAccess(x *xact) {
 		avail = c.privPortFree
 	}
 	c.privPortFree = avail + 1 // pipelined: one lookup starts per cycle
+	if s.check != nil {
+		s.check.Port(check.PortPriv, c.id, c.privPortFree)
+	}
 	lookupDone := avail + engine.Cycle(s.sliceLat)
 
 	e, hit := c.privL2.Lookup(th.app.as.Ctx, x.va)
 	if hit {
+		if s.check != nil {
+			s.check.Served(th.app.as, e.VPN, e.Size, e.PFN)
+		}
 		s.m.l2Hits.Inc()
 		s.noteHit(x, lookupDone)
 		x.entry = e
@@ -234,6 +253,9 @@ func (s *System) monoAccess(x *xact) {
 		avail = s.bankPortFree[bank]
 	}
 	s.bankPortFree[bank] = avail + bankServiceCycles
+	if s.check != nil {
+		s.check.Port(check.PortBank, bank, s.bankPortFree[bank])
+	}
 	lat := s.monoLat
 	if s.cfg.Org == MonolithicFixed {
 		lat = s.cfg.FixedAccessLatency
@@ -242,6 +264,9 @@ func (s *System) monoAccess(x *xact) {
 
 	e, hit := s.mono.Lookup(th.app.as.Ctx, x.va)
 	if hit {
+		if s.check != nil {
+			s.check.Served(th.app.as, e.VPN, e.Size, e.PFN)
+		}
 		resume := lookupDone + engine.Cycle(x.oneWay)
 		s.m.l2Hits.Inc()
 		s.noteHit(x, resume)
@@ -327,6 +352,12 @@ func (s *System) sliceLookup(a *app, va vm.VirtAddr, slice int, earliest engine.
 	}
 	s.slicePortFree[slice] = avail + 1
 	e, hit = s.slices[slice].Lookup(a.as.Ctx, va)
+	if s.check != nil {
+		s.check.Port(check.PortSlice, slice, s.slicePortFree[slice])
+		if hit {
+			s.check.Served(a.as, e.VPN, e.Size, e.PFN)
+		}
+	}
 	return avail + engine.Cycle(s.sliceLat), e, hit
 }
 

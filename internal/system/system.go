@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nocstar/internal/cache"
+	"nocstar/internal/check"
 	"nocstar/internal/energy"
 	"nocstar/internal/engine"
 	"nocstar/internal/metrics"
@@ -50,6 +51,7 @@ type thread struct {
 	core *core
 	gen  workload.Stream
 
+	refsTotal    uint64 // workload length, for end-of-run reconciliation
 	refsLeft     uint64
 	cyclesPerRef float64
 	carry        float64
@@ -98,6 +100,10 @@ type System struct {
 	meter       energy.Meter
 
 	threadsLive int
+
+	// check is the optional invariant checker (Config.Check). Nil in
+	// normal runs: every hot-path hook guards with one nil test.
+	check *check.Checker
 
 	// xfree is the free list of recycled translation transactions.
 	xfree *xact
@@ -249,6 +255,7 @@ func New(cfg Config) (*System, error) {
 				app:          a,
 				core:         c,
 				gen:          stream,
+				refsTotal:    refs,
 				refsLeft:     refs,
 				cyclesPerRef: acfg.Spec.BaseCPI / acfg.Spec.MemRefPerInstr,
 			}
@@ -256,6 +263,17 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	s.threadsLive = len(s.threads)
+
+	// Bind the optional invariant checker to this run's engine, port
+	// arrays, and fabric (internal/check; one Checker per run).
+	if cfg.Check != nil {
+		s.check = cfg.Check
+		s.check.AttachEngine(s.eng)
+		s.check.BindPorts(len(s.slicePortFree), len(s.bankPortFree), cfg.Cores)
+		if s.fabric != nil {
+			s.check.AttachFabric(s.fabric)
+		}
+	}
 	return s, nil
 }
 
@@ -292,6 +310,22 @@ func (s *System) run() (Result, error) {
 		return Result{}, fmt.Errorf("system: run exceeded %d cycles with %d threads live",
 			maxCycles, s.threadsLive)
 	}
+	if s.check != nil {
+		// Commit reconciliation: every thread must have consumed exactly
+		// its configured workload length, and the memory-reference
+		// counter must agree with the sum.
+		var total uint64
+		for _, th := range s.threads {
+			s.check.Committed(th.core.id, th.refsTotal-th.refsLeft, th.refsTotal)
+			total += th.refsTotal
+		}
+		if got := s.m.memRefs.Value(); got != total {
+			s.check.Violatef("commit: %d memory references counted, workloads total %d", got, total)
+		}
+		if err := s.check.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	return s.collect(), nil
 }
 
@@ -308,7 +342,10 @@ func (s *System) threadLoop(th *thread) {
 		th.refsLeft--
 		va := th.gen.Next()
 		s.m.memRefs.Inc()
-		if _, ok := th.core.l1.Lookup(ctx, va); ok {
+		if e, ok := th.core.l1.Lookup(ctx, va); ok {
+			if s.check != nil {
+				s.check.Served(th.app.as, e.VPN, e.Size, e.PFN)
+			}
 			continue
 		}
 		s.m.l1Misses.Inc()

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"nocstar/internal/check"
 	"nocstar/internal/engine"
 	"nocstar/internal/noc"
 	"nocstar/internal/tlb"
@@ -156,6 +157,17 @@ func (s *System) PathGranted(op uint8, arg any, traversal int) {
 			*p = now
 		}
 		*p++
+		if s.check != nil {
+			// Recover the slice index for the horizon check (the grant
+			// payload is the port pointer; checker-on runs can afford the
+			// scan).
+			for i := range s.slicePortFree {
+				if p == &s.slicePortFree[i] {
+					s.check.Port(check.PortSlice, i, *p)
+					break
+				}
+			}
+		}
 	default:
 		panic("system: unknown grant op")
 	}

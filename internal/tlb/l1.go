@@ -94,6 +94,13 @@ func (g *L1Group) Apply(inv vm.Invalidation) int {
 	return g.bySize(inv.Size).Apply(inv)
 }
 
+// Probe reports whether the group holds the translation, without
+// touching LRU state or statistics (used by invariant checking to
+// assert delivered shootdowns really removed their target).
+func (g *L1Group) Probe(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
+	return g.bySize(size).Probe(ctx, vpn, size)
+}
+
 // Flush empties all three arrays.
 func (g *L1Group) Flush() {
 	g.t4k.Flush()

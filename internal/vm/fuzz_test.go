@@ -1,0 +1,144 @@
+package vm
+
+import "testing"
+
+// FuzzPageTable round-trips random Map/Unmap/DropEmptyPT/Walk sequences
+// against a map-based shadow of the live leaf mappings. The virtual
+// space is deliberately tiny (4 x 1G regions, 8 x 2M regions each,
+// 8 x 4K pages each) so operations collide constantly: every walk must
+// agree with the shadow, conflicting maps must be rejected exactly when
+// the shadow predicts, and dropping an empty page-table page must never
+// remove a live mapping.
+func FuzzPageTable(f *testing.F) {
+	// Seed corpus: map/walk round trips at each size, remaps, conflicts,
+	// unmap-then-remap at a larger size via DropEmptyPT (the promotion
+	// sequence), and interleavings across sibling regions.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x01, 0x20, 0x01, 0x20, 0x02, 0x20, 0x01, 0x24})
+	f.Add([]byte{0x00, 0x01, 0x00, 0x02, 0x04, 0x01, 0x08, 0x01})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00, 0x02, 0x00, 0x00, 0x40, 0x01, 0x45})
+	f.Add([]byte{0x02, 0x33, 0x00, 0x33, 0x01, 0x33, 0x02, 0x33, 0x00, 0x77, 0x03, 0x12})
+	f.Add([]byte{0x00, 0xff, 0x01, 0xff, 0x00, 0x80, 0x02, 0x80, 0x01, 0x81, 0x03, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt := NewPageTable(nil)
+		type leaf struct {
+			pa   PhysAddr
+			size PageSize
+		}
+		shadow := map[VirtAddr]leaf{} // live leaves, keyed by page base
+		pts := map[VirtAddr]bool{}    // 2M bases with a materialized leaf PT page
+		pds := map[VirtAddr]bool{}    // 1G bases with a materialized PD page
+		frames := uint64(0)
+
+		// decode maps a selector byte onto the tiny address space.
+		decode := func(b byte) VirtAddr {
+			return VirtAddr(uint64(b&3)<<30 | uint64((b>>2)&7)<<21 | uint64((b>>5)&7)<<12)
+		}
+		// covering returns the shadow leaf covering va, if any.
+		covering := func(va VirtAddr) (leaf, bool) {
+			for _, s := range []PageSize{Page4K, Page2M, Page1G} {
+				if l, ok := shadow[va.PageBase(s)]; ok && l.size == s {
+					return l, true
+				}
+			}
+			return leaf{}, false
+		}
+		// mapConflicts predicts whether Map(base, size) must fail: the
+		// target is covered by a larger live leaf, or a page-table
+		// subtree (possibly empty — Unmap never reclaims table pages)
+		// occupies the slot the leaf PTE would use.
+		mapConflicts := func(base VirtAddr, size PageSize) bool {
+			for _, s := range []PageSize{Page2M, Page1G} {
+				if s <= size {
+					continue
+				}
+				if l, ok := shadow[base.PageBase(s)]; ok && l.size == s {
+					return true
+				}
+			}
+			switch size {
+			case Page2M:
+				return pts[base]
+			case Page1G:
+				return pds[base]
+			}
+			return false
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, sel := data[i], data[i+1]
+			size := PageSize(op >> 4 % 3)
+			va := decode(sel)
+			base := va.PageBase(size)
+			switch op & 3 {
+			case 0: // Map
+				frames++
+				pa := PhysAddr(frames << size.Shift())
+				err := pt.Map(base, pa, size)
+				if conflicts := mapConflicts(base, size); (err == nil) == conflicts {
+					t.Fatalf("op %d: Map(%#x, %s) err=%v, shadow predicts conflict=%v",
+						i, uint64(base), size, err, conflicts)
+				}
+				if err == nil {
+					shadow[base] = leaf{pa: pa, size: size}
+					if size == Page4K {
+						pts[base.PageBase(Page2M)] = true
+					}
+					if size != Page1G {
+						pds[base.PageBase(Page1G)] = true
+					}
+				}
+			case 1: // Unmap
+				_, want := shadow[base]
+				want = want && shadow[base].size == size
+				if got := pt.Unmap(base, size); got != want {
+					t.Fatalf("op %d: Unmap(%#x, %s) = %v, shadow has mapping: %v",
+						i, uint64(base), size, got, want)
+				}
+				if want {
+					delete(shadow, base)
+				}
+			case 2: // DropEmptyPT
+				b2m := va.PageBase(Page2M)
+				want := pts[b2m]
+				for k, l := range shadow {
+					if l.size == Page4K && k.PageBase(Page2M) == b2m {
+						want = false // a live 4K leaf keeps the PT page
+					}
+				}
+				if got := pt.DropEmptyPT(va); got != want {
+					t.Fatalf("op %d: DropEmptyPT(%#x) = %v, shadow predicts %v",
+						i, uint64(va), got, want)
+				}
+				if want {
+					delete(pts, b2m)
+				}
+			}
+
+			// Every live mapping still translates (DropEmptyPT and failed
+			// maps must never disturb them), probed at a rotating offset.
+			probe := decode(sel ^ data[i])
+			res, ok := pt.Walk(probe)
+			if l, want := covering(probe); want {
+				off := PhysAddr(probe.Offset(l.size))
+				if !ok || res.Size != l.size || res.PA != l.pa+off {
+					t.Fatalf("op %d: Walk(%#x) = (%#x, %v, %v), shadow has (%#x, %v)",
+						i, uint64(probe), uint64(res.PA), res.Size, ok, uint64(l.pa+off), l.size)
+				}
+			} else if ok {
+				t.Fatalf("op %d: Walk(%#x) translated, shadow has no covering leaf", i, uint64(probe))
+			}
+		}
+
+		// Final reconciliation: per-size mapped counts match the shadow.
+		var want [3]uint64
+		for _, l := range shadow {
+			want[l.size]++
+		}
+		for _, s := range []PageSize{Page4K, Page2M, Page1G} {
+			if got := pt.MappedCount(s); got != want[s] {
+				t.Fatalf("MappedCount(%s) = %d, shadow has %d", s, got, want[s])
+			}
+		}
+	})
+}

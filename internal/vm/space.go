@@ -80,9 +80,10 @@ type Invalidation struct {
 	FullFlush bool
 }
 
-// Promote2M collapses the 2 MB region containing va into one superpage,
-// demand-mapping any 4 KB pages of the region that were not yet present
-// (the OS allocates the whole extent when it promotes). It returns the
+// Promote2M collapses the 2 MB region containing va into one superpage
+// backed by a freshly allocated 2 MB extent (the OS copies whatever base
+// pages were present into it; absent pages are simply covered by the new
+// mapping — no per-page demand-mapping happens first). It returns the
 // shootdown invalidations the OS must broadcast: one per previously
 // present 4 KB PTE, plus none for the new mapping itself.
 func (as *AddressSpace) Promote2M(va VirtAddr) ([]Invalidation, error) {
@@ -98,11 +99,11 @@ func (as *AddressSpace) Promote2M(va VirtAddr) ([]Invalidation, error) {
 		}
 	}
 	as.PT.DropEmptyPT(base)
-	as.next2M++
-	pa := PhysAddr(as.region<<regionShift | flag2M | as.next2M<<21)
+	pa := PhysAddr(as.region<<regionShift | flag2M | (as.next2M+1)<<21)
 	if err := as.PT.Map(base, pa, Page2M); err != nil {
 		return invs, fmt.Errorf("vm: Promote2M: %w", err)
 	}
+	as.next2M++ // counted only once the extent is actually mapped
 	return invs, nil
 }
 

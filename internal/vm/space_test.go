@@ -1,0 +1,91 @@
+package vm
+
+import "testing"
+
+// TestPromote2MPartialRegion pins the documented behavior: promotion
+// collapses whatever base pages are present into a fresh 2 MB extent —
+// it does not demand-map absent pages first — and the invalidation list
+// covers exactly the PTEs that existed.
+func TestPromote2MPartialRegion(t *testing.T) {
+	as := NewAddressSpace(5)
+	base := VirtAddr(0x40000000)
+	// A sparse region: 3 of 512 pages present, scattered.
+	for _, i := range []int{0, 17, 511} {
+		if !as.EnsureMapped(base+VirtAddr(i*4096), Page4K) {
+			t.Fatalf("page %d not mapped", i)
+		}
+	}
+	invs, err := as.Promote2M(base + 0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 3 {
+		t.Fatalf("invalidations = %d, want 3 (one per present PTE, none for absent pages)", len(invs))
+	}
+	// The whole region — including the 509 never-mapped pages — now
+	// translates through the single superpage.
+	pa2m, size, ok := as.Translate(base)
+	if !ok || size != Page2M {
+		t.Fatalf("base: ok=%v size=%v", ok, size)
+	}
+	for _, i := range []int{1, 16, 100, 510} {
+		pa, size, ok := as.Translate(base + VirtAddr(i*4096))
+		if !ok || size != Page2M || pa != pa2m+PhysAddr(i*4096) {
+			t.Fatalf("page %d: ok=%v size=%v pa=%#x", i, ok, size, pa)
+		}
+	}
+	// An entirely empty region promotes too (zero invalidations).
+	invs, err = as.Promote2M(base + VirtAddr(Page2M.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 0 {
+		t.Fatalf("empty-region promotion produced %d invalidations", len(invs))
+	}
+}
+
+// TestPromote2MExtentCounter pins that next2M advances once per
+// *successful* promotion, so every promotion lands on a distinct fresh
+// extent and a failed Map cannot leak a counter increment.
+func TestPromote2MExtentCounter(t *testing.T) {
+	as := NewAddressSpace(6)
+	base := VirtAddr(0x40000000)
+	if _, err := as.Promote2M(base); err != nil {
+		t.Fatal(err)
+	}
+	if as.next2M != 1 {
+		t.Fatalf("next2M = %d after one promotion, want 1", as.next2M)
+	}
+	first, _, _ := as.Translate(base)
+
+	// A promotion rejected up front (region already superpage-backed)
+	// must not consume an extent.
+	if _, err := as.Promote2M(base); err == nil {
+		t.Fatal("double promotion accepted")
+	}
+	if as.next2M != 1 {
+		t.Fatalf("next2M = %d after failed promotion, want 1 (counter leaked)", as.next2M)
+	}
+
+	// Demote and re-promote: a fresh extent, distinct from the first.
+	if _, err := as.Demote2M(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Promote2M(base); err != nil {
+		t.Fatal(err)
+	}
+	if as.next2M != 2 {
+		t.Fatalf("next2M = %d after re-promotion, want 2", as.next2M)
+	}
+	second, _, _ := as.Translate(base)
+	if first == second {
+		t.Fatalf("re-promotion reused extent %#x", first)
+	}
+	// EnsureMapped(2M) draws from the same counter and must not collide.
+	other := VirtAddr(0x40000000 + 4*Page2M.Bytes())
+	as.EnsureMapped(other, Page2M)
+	pa, _, _ := as.Translate(other)
+	if pa == first || pa == second {
+		t.Fatalf("EnsureMapped 2M extent %#x collides with a promotion extent", pa)
+	}
+}

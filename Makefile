@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all help build fmt vet staticcheck test race bench bench-engine alloc check fuzz smoke profile ci clean
+.PHONY: all help build fmt vet staticcheck test race bench bench-engine alloc check fuzz smoke serve-smoke profile ci clean
 
 all: build vet test
 
@@ -15,8 +15,9 @@ help:
 	@echo "  check        invariant-checker gate: shadow-oracle runs + fuzz seed corpora"
 	@echo "  fuzz         open-ended randomized checking (grows fuzz corpora)"
 	@echo "  smoke        end-to-end report-pipeline smoke run"
+	@echo "  serve-smoke  HTTP service smoke: submit/poll/cache over a loopback listener"
 	@echo "  profile      CPU/heap profiles of the Table III sweep"
-	@echo "  ci           build fmt vet staticcheck race bench alloc check smoke"
+	@echo "  ci           build fmt vet staticcheck race bench alloc check smoke serve-smoke"
 
 build:
 	$(GO) build ./...
@@ -81,6 +82,12 @@ fuzz:
 smoke:
 	$(GO) run ./cmd/nocstar-exp -quiet -instr 2000 -report /tmp/nocstar-report.json fig12
 
+# End-to-end smoke of the HTTP service: boot against a loopback listener,
+# submit a run, poll to completion, verify byte identity with a direct
+# in-process Run, then resubmit and verify a result-cache hit.
+serve-smoke:
+	$(GO) run ./cmd/nocstar-serve -selftest
+
 # CPU and heap profiles of the heavyweight Table III sweep, written to
 # ./profiles/ for `go tool pprof` (see EXPERIMENTS.md "Allocation-free
 # critical path" for the recorded baselines).
@@ -91,7 +98,7 @@ profile:
 		-o profiles/nocstar.test .
 	@echo "inspect with: go tool pprof -top profiles/nocstar.test profiles/cpu.out"
 
-ci: build fmt vet staticcheck race bench alloc check smoke
+ci: build fmt vet staticcheck race bench alloc check smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -203,7 +203,7 @@ func writeTrace(path string, opts experiments.Options) {
 	cfg := system.Config{
 		Org:            system.Nocstar,
 		Cores:          cores,
-		Apps:           []system.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+		Apps:           []system.App{{Spec: spec, Threads: cores, HammerSlice: system.HammerNone}},
 		InstrPerThread: instr,
 		Seed:           opts.Seed,
 	}

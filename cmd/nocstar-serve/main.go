@@ -1,0 +1,224 @@
+// Command nocstar-serve runs the simulator as a long-lived HTTP
+// service: clients POST JSON configs to /v1/runs, poll run status,
+// stream progress over SSE, and share a canonical-config result cache
+// across requests.
+//
+// Usage:
+//
+//	nocstar-serve -addr :8080 -workers 8 -cache 256
+//	nocstar-serve -selftest   # end-to-end smoke against a loopback listener
+//
+// Endpoints:
+//
+//	POST   /v1/runs             submit a config (optionally ?timeout=30s)
+//	GET    /v1/runs             list accepted runs
+//	GET    /v1/runs/{id}        run status; includes the result when done
+//	DELETE /v1/runs/{id}        cancel a queued or running job
+//	GET    /v1/runs/{id}/events run state transitions as SSE
+//	GET    /v1/workloads        the built-in workload suite
+//	GET    /v1/experiments      the paper experiment registry
+//	GET    /healthz             liveness and pool occupancy
+//	GET    /metrics             Prometheus text exposition
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nocstar/internal/server"
+	"nocstar/internal/system"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "bounded submission queue depth (full queue returns 429)")
+		cache    = flag.Int("cache", 128, "LRU result-cache entries, keyed on canonical config hash")
+		maxRun   = flag.Duration("max-run", 0, "wall-clock cap on every run; 0 means uncapped")
+		drain    = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget for in-flight runs")
+		selftest = flag.Bool("selftest", false, "run an end-to-end smoke against a loopback listener and exit")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		MaxRunDuration: *maxRun,
+	})
+
+	if *selftest {
+		if err := runSelftest(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("selftest PASSED")
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("nocstar-serve listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %v; draining in-flight runs (budget %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Println("drained cleanly")
+}
+
+// selftestConfig is a deliberately small run so the smoke finishes in
+// about a second.
+const selftestConfig = `{
+	"schema": 1,
+	"org": "nocstar",
+	"cores": 8,
+	"apps": [{"workload": "gups", "threads": 8}],
+	"instr_per_thread": 20000,
+	"seed": 1
+}`
+
+// runSelftest exercises the service end to end over a real loopback
+// listener: submit, poll to completion, verify the HTTP result is
+// byte-identical to a direct in-process Run, then resubmit and verify a
+// cache hit. Backs `make serve-smoke`.
+func runSelftest(srv *server.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		srv.Shutdown(ctx)
+	}()
+
+	type status struct {
+		ID     string          `json:"id"`
+		State  string          `json:"state"`
+		Cached bool            `json:"cached"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+
+	// The reference: a direct in-process run of the same config.
+	cfg, err := system.UnmarshalConfig([]byte(selftestConfig))
+	if err != nil {
+		return fmt.Errorf("decoding selftest config: %w", err)
+	}
+	direct, err := system.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("direct run: %w", err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		return err
+	}
+
+	// Submit and poll to completion.
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader([]byte(selftestConfig)))
+	if err != nil {
+		return err
+	}
+	var st status
+	if err := decodeInto(resp, http.StatusAccepted, &st); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("run %s stuck in state %q", st.ID, st.State)
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			return fmt.Errorf("run %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err = http.Get(base + "/v1/runs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		if err := decodeInto(resp, http.StatusOK, &st); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+	}
+	if !bytes.Equal(st.Result, want) {
+		return fmt.Errorf("HTTP result differs from direct run (%d vs %d bytes)", len(st.Result), len(want))
+	}
+	fmt.Println("selftest: HTTP result byte-identical to direct run")
+
+	// Resubmit: must be served from the result cache, byte-identical.
+	resp, err = http.Post(base+"/v1/runs", "application/json", bytes.NewReader([]byte(selftestConfig)))
+	if err != nil {
+		return err
+	}
+	var again status
+	if err := decodeInto(resp, http.StatusOK, &again); err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if !again.Cached {
+		return fmt.Errorf("resubmit not served from cache (state %q)", again.State)
+	}
+	if !bytes.Equal(again.Result, want) {
+		return fmt.Errorf("cached result differs from direct run")
+	}
+	fmt.Println("selftest: resubmit served from cache, byte-identical")
+
+	// The read-only endpoints must answer.
+	for _, path := range []string{"/healthz", "/metrics", "/v1/workloads", "/v1/experiments", "/v1/runs"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	fmt.Println("selftest: healthz, metrics, workloads, experiments, runs all answer")
+	return nil
+}
+
+// decodeInto checks the status code and decodes the JSON body.
+func decodeInto(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, want, body)
+	}
+	return json.Unmarshal(body, v)
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,8 +40,16 @@ func main() {
 		instr    = flag.Uint64("instr", 200_000, "instructions per thread")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		baseline = flag.Bool("baseline", true, "also run the private baseline and report speedup")
+		timeout  = flag.Duration("timeout", 0, "wall-clock cap on each run (e.g. 30s); 0 means uncapped")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	org, ok := orgNames[*orgName]
 	if !ok {
@@ -60,11 +69,11 @@ func main() {
 		SMT:            *smt,
 		PrefetchDegree: *prefetch,
 		THP:            *thp,
-		Apps:           []system.App{{Spec: spec, Threads: *cores * *smt, HammerSlice: -1}},
+		Apps:           []system.App{{Spec: spec, Threads: *cores * *smt, HammerSlice: system.HammerNone}},
 		InstrPerThread: *instr / uint64(*smt),
 		Seed:           *seed,
 	}
-	r, err := system.Run(cfg)
+	r, err := system.RunContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -101,7 +110,7 @@ func main() {
 		bcfg := cfg
 		bcfg.Org = system.Private
 		bcfg.L2EntriesPerCore = 0
-		b, err := system.Run(bcfg)
+		b, err := system.RunContext(ctx, bcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

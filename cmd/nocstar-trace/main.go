@@ -149,7 +149,7 @@ func replayCmd(args []string) {
 	cfg := system.Config{
 		Org:            org,
 		Cores:          *cores,
-		Apps:           []system.App{{Spec: spec, Threads: len(tr.Threads), HammerSlice: -1, Streams: streams}},
+		Apps:           []system.App{{Spec: spec, Threads: len(tr.Threads), HammerSlice: system.HammerNone, Streams: streams}},
 		InstrPerThread: *instr,
 		Seed:           *seed,
 	}

@@ -32,7 +32,7 @@ func main() {
 				Org:            org,
 				Cores:          cores,
 				THP:            true, // Linux transparent 2MB superpages
-				Apps:           []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+				Apps:           []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: nocstar.HammerNone}},
 				InstrPerThread: 120_000,
 				Seed:           7,
 			}

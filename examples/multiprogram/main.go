@@ -20,7 +20,7 @@ func main() {
 		if !ok {
 			log.Fatalf("missing workload %s", n)
 		}
-		apps = append(apps, nocstar.App{Spec: spec, Threads: 8, HammerSlice: -1})
+		apps = append(apps, nocstar.App{Spec: spec, Threads: 8, HammerSlice: nocstar.HammerNone})
 	}
 	mk := func(org nocstar.Org) nocstar.Config {
 		return nocstar.Config{

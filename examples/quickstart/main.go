@@ -20,7 +20,7 @@ func main() {
 		return nocstar.Config{
 			Org:            org,
 			Cores:          cores,
-			Apps:           []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+			Apps:           []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: nocstar.HammerNone}},
 			InstrPerThread: 150_000,
 			Seed:           1,
 		}

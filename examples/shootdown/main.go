@@ -22,7 +22,7 @@ func main() {
 		return nocstar.Config{
 			Org:               nocstar.Nocstar,
 			Cores:             cores,
-			Apps:              []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+			Apps:              []nocstar.App{{Spec: spec, Threads: cores, HammerSlice: nocstar.HammerNone}},
 			InstrPerThread:    120_000,
 			ShootdownInterval: 2_000, // a remap every 1us at 2GHz: remap-heavy
 			InvLeaders:        leaders,

@@ -138,8 +138,8 @@ func AblationQoS(o Options) QoSResult {
 			Org:   org,
 			Cores: cores,
 			Apps: []system.App{
-				{Spec: victim, Threads: cores / 4, HammerSlice: -1},
-				{Spec: aggressor, Threads: 3 * cores / 4, HammerSlice: -1},
+				{Spec: victim, Threads: cores / 4, HammerSlice: system.HammerNone},
+				{Spec: aggressor, Threads: 3 * cores / 4, HammerSlice: system.HammerNone},
 			},
 			L2EntriesPerCore: 256,
 			QoSMaxCtxWays:    quota,

@@ -19,7 +19,7 @@ func TestRunDeterminism(t *testing.T) {
 	cfg := system.Config{
 		Org:            system.Nocstar,
 		Cores:          32,
-		Apps:           []system.App{{Spec: spec, Threads: 32, HammerSlice: -1}},
+		Apps:           []system.App{{Spec: spec, Threads: 32, HammerSlice: system.HammerNone}},
 		InstrPerThread: 10_000,
 		Seed:           7,
 	}
@@ -71,7 +71,7 @@ func TestGoldenEventOrder(t *testing.T) {
 	base := system.Config{
 		Org:            system.Nocstar,
 		Cores:          16,
-		Apps:           []system.App{{Spec: spec, Threads: 16, HammerSlice: -1}},
+		Apps:           []system.App{{Spec: spec, Threads: 16, HammerSlice: system.HammerNone}},
 		InstrPerThread: 3_000,
 		Seed:           7,
 	}

@@ -83,7 +83,7 @@ func (o Options) baseConfig(org system.Org, spec workload.Spec, cores int, thp b
 	return system.Config{
 		Org:            org,
 		Cores:          cores,
-		Apps:           []system.App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+		Apps:           []system.App{{Spec: spec, Threads: cores, HammerSlice: system.HammerNone}},
 		THP:            thp,
 		InstrPerThread: o.Instr,
 		Seed:           o.Seed,

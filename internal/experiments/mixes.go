@@ -59,7 +59,7 @@ func Fig18(o Options) Fig18Result {
 		apps := make([]system.App, 4)
 		names := make([]string, 4)
 		for i, wi := range idx {
-			apps[i] = system.App{Spec: suite[wi], Threads: 8, HammerSlice: -1}
+			apps[i] = system.App{Spec: suite[wi], Threads: 8, HammerSlice: system.HammerNone}
 			names[i] = suite[wi].Name
 		}
 		mkConfig := func(org system.Org) system.Config {

@@ -152,7 +152,7 @@ func SliceHammer(o Options) SliceHammerResult {
 			Org:   org,
 			Cores: cores,
 			Apps: []system.App{
-				{Spec: victim, Threads: 1, HammerSlice: -1},
+				{Spec: victim, Threads: 1, HammerSlice: system.HammerNone},
 				{Spec: hammer, Threads: cores - 1, HammerSlice: cores - 1},
 			},
 			InstrPerThread: o.Instr,

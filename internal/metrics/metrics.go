@@ -14,6 +14,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing event count.
@@ -33,6 +34,27 @@ func (c *Counter) Value() uint64 { return c.v }
 
 // Name reports the registered name.
 func (c *Counter) Name() string { return c.name }
+
+// AtomicCounter is a monotonically increasing event count safe for
+// concurrent increment — the service layer's counterpart of Counter,
+// whose single-writer unsynchronized increment is reserved for the
+// simulator's hot path.
+type AtomicCounter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *AtomicCounter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *AtomicCounter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *AtomicCounter) Value() uint64 { return c.v.Load() }
+
+// Name reports the registered name.
+func (c *AtomicCounter) Name() string { return c.name }
 
 // Mean is an online mean/min/max accumulator over float64 samples.
 type Mean struct {
@@ -127,6 +149,7 @@ func (h *Hist) Name() string { return h.name }
 // pointer, and Snapshot freezes everything into a stable, sorted form.
 type Registry struct {
 	counters []*Counter
+	atomics  []*AtomicCounter
 	means    []*Mean
 	hists    []*Hist
 	names    map[string]struct{}
@@ -152,6 +175,16 @@ func (r *Registry) Counter(name string) *Counter {
 	r.register(name)
 	c := &Counter{name: name}
 	r.counters = append(r.counters, c)
+	return c
+}
+
+// AtomicCounter registers and returns a named concurrency-safe counter.
+// It shares the counter namespace and appears in snapshots alongside
+// plain counters.
+func (r *Registry) AtomicCounter(name string) *AtomicCounter {
+	r.register(name)
+	c := &AtomicCounter{name: name}
+	r.atomics = append(r.atomics, c)
 	return c
 }
 
@@ -225,6 +258,9 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{}
 	for _, c := range r.counters {
 		s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.v})
+	}
+	for _, c := range r.atomics {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.Value()})
 	}
 	for _, m := range r.means {
 		mv := MeanValue{Name: m.name, N: m.n, Sum: m.sum}

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"nocstar/internal/system"
+	"nocstar/internal/workload"
+)
+
+func smallCfg(seed int64) system.Config {
+	return system.Config{
+		Org:   system.Nocstar,
+		Cores: 4,
+		Apps: []system.App{{
+			Spec: workload.Spec{
+				Name:           "runner-ctx",
+				FootprintPages: 256,
+				MemRefPerInstr: 0.3,
+				BaseCPI:        1.2,
+			},
+			Threads:     4,
+			HammerSlice: system.HammerNone,
+		}},
+		InstrPerThread: 2_000,
+		Seed:           seed,
+	}
+}
+
+// TestSubmitContextCancel cancels an effectively endless run submitted
+// through the pool and checks the future resolves promptly with the
+// typed error — the path the HTTP service's DELETE handler exercises.
+func TestSubmitContextCancel(t *testing.T) {
+	cfg := smallCfg(1)
+	cfg.InstrPerThread = 1 << 40
+	r := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	fut := r.SubmitContext(ctx, cfg)
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	type outcome struct {
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := fut.Result()
+		done <- outcome{err}
+	}()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, system.ErrCanceled) {
+			t.Fatalf("want system.ErrCanceled, got %v", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled run did not resolve within 30s")
+	}
+
+	// A canceled run must not poison the singleflight map: resubmitting
+	// the same config (now uncanceled) must run for real.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	fut2 := r.SubmitContext(ctx2, cfg)
+	cancel2()
+	if _, err := fut2.Result(); !errors.Is(err, system.ErrCanceled) {
+		t.Fatalf("resubmission after cancel: want ErrCanceled, got %v", err)
+	}
+}
+
+// TestKeyCanonical pins that the dedup key is the canonical encoding:
+// defaulted and explicitly-spelled configs share one key, so concurrent
+// submissions of either form singleflight to one execution.
+func TestKeyCanonical(t *testing.T) {
+	minimal := smallCfg(1)
+	explicit := minimal
+	explicit.SMT = 1
+	explicit.L1Scale = 1
+	explicit.HPCmax = 16
+
+	ka, oka := Key(minimal)
+	kb, okb := Key(explicit)
+	if !oka || !okb {
+		t.Fatal("valid configs not keyed")
+	}
+	if ka != kb {
+		t.Fatalf("defaulted and explicit configs key differently:\n%s\n%s", ka, kb)
+	}
+
+	r := New(2)
+	fa := r.Submit(minimal)
+	fb := r.SubmitCached(explicit)
+	ra := fa.Wait()
+	rb := fb.Wait()
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("deduped submissions returned different results")
+	}
+	p := r.Progress()
+	if p.Submitted != 1 || p.Deduped != 1 {
+		t.Fatalf("want 1 execution + 1 dedup, got %+v", p)
+	}
+}
+
+// TestKeyRejectsLiveState: configs with injected streams (or a checker)
+// have no key and every submission runs independently.
+func TestKeyRejectsLiveState(t *testing.T) {
+	cfg := smallCfg(1)
+	cfg.Apps[0].Streams = make([]workload.Stream, 4)
+	if _, ok := Key(cfg); ok {
+		t.Fatal("config with live streams got a dedup key")
+	}
+}

@@ -16,9 +16,9 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -140,7 +140,17 @@ func (r *Runner) Progress() Progress {
 // An identical config already in flight (or memoized by SubmitCached) is
 // shared rather than re-run.
 func (r *Runner) Submit(cfg system.Config) *Future {
-	return r.submit(cfg, false)
+	return r.submit(context.Background(), cfg, false)
+}
+
+// SubmitContext is Submit with a context governing the execution: the
+// simulation runs through system.RunContext, so cancelling ctx (or its
+// deadline passing) stops the run promptly with a typed error. A
+// duplicate submission that joins an in-flight identical run shares that
+// run's context — the joiner's own ctx does not cancel work it merely
+// observes. Canceled runs complete with an error and are never memoized.
+func (r *Runner) SubmitContext(ctx context.Context, cfg system.Config) *Future {
+	return r.submit(ctx, cfg, false)
 }
 
 // SubmitCached is Submit with memoization: the completed result is kept
@@ -148,7 +158,7 @@ func (r *Runner) Submit(cfg system.Config) *Future {
 // goroutine or driver — return it without re-running. Use it for runs
 // shared across experiments, such as private baselines.
 func (r *Runner) SubmitCached(cfg system.Config) *Future {
-	return r.submit(cfg, true)
+	return r.submit(context.Background(), cfg, true)
 }
 
 // Run is Submit followed by Wait.
@@ -156,7 +166,7 @@ func (r *Runner) Run(cfg system.Config) system.Result {
 	return r.Submit(cfg).Wait()
 }
 
-func (r *Runner) submit(cfg system.Config, cache bool) *Future {
+func (r *Runner) submit(ctx context.Context, cfg system.Config, cache bool) *Future {
 	key, keyed := Key(cfg)
 	if keyed {
 		r.mu.Lock()
@@ -174,18 +184,18 @@ func (r *Runner) submit(cfg system.Config, cache bool) *Future {
 		r.inflight[key] = c
 		r.mu.Unlock()
 		r.submitted.Add(1)
-		go r.execute(cfg, c, key, cache)
+		go r.execute(ctx, cfg, c, key, cache)
 		return &Future{c: c}
 	}
 	c := &call{done: make(chan struct{})}
 	r.submitted.Add(1)
-	go r.execute(cfg, c, "", cache)
+	go r.execute(ctx, cfg, c, "", cache)
 	return &Future{c: c}
 }
 
-func (r *Runner) execute(cfg system.Config, c *call, key string, cache bool) {
+func (r *Runner) execute(ctx context.Context, cfg system.Config, c *call, key string, cache bool) {
 	r.acquire()
-	c.res, c.err = system.Run(cfg)
+	c.res, c.err = system.RunContext(ctx, cfg)
 	r.release()
 	if key != "" {
 		r.mu.Lock()
@@ -240,32 +250,18 @@ func Map[T, R any](r *Runner, items []T, fn func(T) R) []R {
 	return out
 }
 
-// Key returns a canonical dedup key for cfg. ok is false when the config
-// cannot be keyed — it carries live address streams, whose behaviour is
-// not captured by the config value, or an attached Checker, which
-// accumulates per-run state — in which case every submission runs.
+// Key returns the canonical dedup key for cfg: its schema-versioned
+// canonical JSON encoding (system.Config.MarshalCanonical), the same
+// bytes the HTTP service hashes for its result cache. Because the
+// encoding normalizes first, two configs that differ only in
+// defaulted-versus-explicit fields share one key — and one execution.
+// ok is false when the config cannot be keyed: it carries live address
+// streams or an attached Checker (state the config value does not
+// capture), or it is invalid — in which case every submission runs.
 func Key(cfg system.Config) (key string, ok bool) {
-	if cfg.Check != nil {
+	b, err := cfg.MarshalCanonical()
+	if err != nil {
 		return "", false
 	}
-	for _, a := range cfg.Apps {
-		if a.Streams != nil {
-			return "", false
-		}
-	}
-	// Config is a flat value apart from Apps and Storm; scrub those and
-	// append them field-by-field so the key never formats a pointer.
-	scrub := cfg
-	scrub.Apps = nil
-	scrub.Storm = nil
-	scrub.Check = nil
-	var b strings.Builder
-	fmt.Fprintf(&b, "%+v", scrub)
-	for _, a := range cfg.Apps {
-		fmt.Fprintf(&b, "|app:%+v", a)
-	}
-	if cfg.Storm != nil {
-		fmt.Fprintf(&b, "|storm:%+v", *cfg.Storm)
-	}
-	return b.String(), true
+	return string(b), true
 }

@@ -16,7 +16,7 @@ func testConfig(instr uint64) system.Config {
 	return system.Config{
 		Org:            system.Nocstar,
 		Cores:          16,
-		Apps:           []system.App{{Spec: spec, Threads: 16, HammerSlice: -1}},
+		Apps:           []system.App{{Spec: spec, Threads: 16, HammerSlice: system.HammerNone}},
 		InstrPerThread: instr,
 		Seed:           1,
 	}

@@ -1,0 +1,58 @@
+package server
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used cache from canonical
+// config hash to the marshaled Result of a completed run. It amortizes
+// the repeated-query pattern of paper sweeps: re-submitting a config
+// already simulated serves the cached bytes instead of re-running.
+// Callers synchronize access (the server's mutex).
+type lru struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *lru) add(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lru) len() int { return c.order.Len() }

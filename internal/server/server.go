@@ -1,0 +1,501 @@
+// Package server exposes the simulator as a long-running HTTP service —
+// the "simulation as a service" front door. A daemon accepts simulation
+// jobs (POST /v1/runs with a JSON Config), validates them with typed
+// field errors, canonically hashes them, and executes them on a bounded
+// worker pool that reuses internal/runner's singleflight machinery; an
+// LRU cache keyed on the canonical config hash serves repeated sweeps
+// from memory. Results served over HTTP are byte-identical to a direct
+// in-process system.Run of the same Config.
+//
+// Production plumbing: per-request run deadlines (?timeout=30s),
+// backpressure (a bounded queue that rejects with 429 when full),
+// graceful shutdown that drains in-flight runs, /healthz, and /metrics
+// exporting the internal/metrics counters in Prometheus text format.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"nocstar/internal/experiments"
+	"nocstar/internal/metrics"
+	"nocstar/internal/runner"
+	"nocstar/internal/system"
+	"nocstar/internal/workload"
+)
+
+// Options configures the daemon. The zero value selects sane defaults.
+type Options struct {
+	// Workers bounds concurrently executing simulations (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet executing; a full
+	// queue rejects submissions with 429 (<= 0 selects 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (<= 0 selects 128).
+	CacheEntries int
+	// MaxRunDuration caps every run's wall-clock execution, counted
+	// from submission. 0 leaves runs uncapped; requests may always set
+	// a tighter deadline with ?timeout=.
+	MaxRunDuration time.Duration
+}
+
+func (o Options) normalized() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 128
+	}
+	return o
+}
+
+// serverMetrics are the service-level counters exported by /metrics.
+type serverMetrics struct {
+	requests    *metrics.AtomicCounter
+	submitted   *metrics.AtomicCounter
+	invalid     *metrics.AtomicCounter
+	rejected    *metrics.AtomicCounter
+	deduped     *metrics.AtomicCounter
+	cacheHits   *metrics.AtomicCounter
+	executed    *metrics.AtomicCounter
+	completed   *metrics.AtomicCounter
+	failed      *metrics.AtomicCounter
+	canceledRun *metrics.AtomicCounter
+}
+
+// Server is the resident simulation service. Create with New, mount
+// Handler on an http.Server, and stop with Shutdown.
+type Server struct {
+	opts Options
+	pool *runner.Runner
+	mux  *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string        // job IDs in submission order, for listing
+	inflight map[string]*job // canonical hash -> live (non-terminal) job
+	cache    *lru
+
+	seq     atomic.Uint64
+	running atomic.Int64
+
+	reg *metrics.Registry
+	met serverMetrics
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.normalized()
+	s := &Server{
+		opts:     opts,
+		pool:     runner.New(opts.Workers),
+		queue:    make(chan *job, opts.QueueDepth),
+		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
+		cache:    newLRU(opts.CacheEntries),
+		reg:      metrics.NewRegistry(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.met = serverMetrics{
+		requests:    s.reg.AtomicCounter("server.http.requests"),
+		submitted:   s.reg.AtomicCounter("server.runs.submitted"),
+		invalid:     s.reg.AtomicCounter("server.runs.invalid"),
+		rejected:    s.reg.AtomicCounter("server.runs.rejected"),
+		deduped:     s.reg.AtomicCounter("server.runs.deduped"),
+		cacheHits:   s.reg.AtomicCounter("server.cache.hits"),
+		executed:    s.reg.AtomicCounter("server.runs.executed"),
+		completed:   s.reg.AtomicCounter("server.runs.completed"),
+		failed:      s.reg.AtomicCounter("server.runs.failed"),
+		canceledRun: s.reg.AtomicCounter("server.runs.canceled"),
+	}
+	s.routes()
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Shutdown gracefully stops the server: submissions are refused with
+// 503, queued and running jobs drain to completion, and the worker pool
+// exits. If ctx expires first, every remaining run is canceled (they
+// stop at the next context-poll stride) and Shutdown returns ctx's
+// error once the pool exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job through the shared runner pool.
+func (s *Server) runJob(j *job) {
+	j.setState(stateRunning, nil, "")
+	s.running.Add(1)
+	s.met.executed.Inc()
+	res, err := s.pool.SubmitContext(j.ctx, j.cfg).Result()
+	s.running.Add(-1)
+	j.cancel() // release the deadline timer
+
+	var result json.RawMessage
+	var state jobState
+	var msg string
+	switch {
+	case err == nil:
+		if b, merr := json.Marshal(res); merr != nil {
+			state, msg = stateFailed, fmt.Sprintf("marshaling result: %v", merr)
+		} else {
+			state, result = stateDone, b
+		}
+	case errors.Is(err, system.ErrCanceled), errors.Is(err, system.ErrDeadlineExceeded):
+		state, msg = stateCanceled, err.Error()
+	default:
+		state, msg = stateFailed, err.Error()
+	}
+
+	s.mu.Lock()
+	if s.inflight[j.hash] == j {
+		delete(s.inflight, j.hash)
+	}
+	if state == stateDone {
+		s.cache.add(j.hash, result)
+	}
+	s.mu.Unlock()
+
+	j.setState(state, result, msg)
+	switch state {
+	case stateDone:
+		s.met.completed.Inc()
+	case stateCanceled:
+		s.met.canceledRun.Inc()
+	default:
+		s.met.failed.Inc()
+	}
+}
+
+// newJob constructs a job (not yet registered) with its execution
+// context.
+func (s *Server) newJob(hash string, cfg system.Config, timeout time.Duration) *job {
+	j := &job{
+		id:    fmt.Sprintf("run-%06d-%s", s.seq.Add(1), hash[:12]),
+		hash:  hash,
+		cfg:   cfg,
+		done:  make(chan struct{}),
+		state: stateQueued,
+	}
+	if timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+	return j
+}
+
+// submitError is the 400 response body: a top-level message plus the
+// typed per-field errors from Config.Validate when available.
+type submitError struct {
+	Error  string              `json:"error"`
+	Fields []system.FieldError `json:"fields,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+	cfg, err := system.UnmarshalConfig(body)
+	if err != nil {
+		s.met.invalid.Inc()
+		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		s.met.invalid.Inc()
+		resp := submitError{Error: "invalid config"}
+		var ve *system.ValidationError
+		if errors.As(err, &ve) {
+			resp.Fields = ve.Fields
+		} else {
+			resp.Error = err.Error()
+		}
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	hash, err := cfg.CanonicalHash()
+	if err != nil {
+		s.met.invalid.Inc()
+		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		return
+	}
+	timeout := s.opts.MaxRunDuration
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, submitError{
+				Error: fmt.Sprintf("bad timeout %q: want a positive Go duration like 30s", tq)})
+			return
+		}
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, submitError{Error: "server is shutting down"})
+		return
+	}
+	// Result cache: a config already simulated is served from memory,
+	// as a job born in the done state.
+	if cached, ok := s.cache.get(hash); ok {
+		j := s.newJob(hash, cfg, 0)
+		j.state = stateDone
+		j.cached = true
+		j.result = cached
+		close(j.done)
+		j.cancel()
+		s.registerLocked(j)
+		s.mu.Unlock()
+		s.met.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, j.status(true))
+		return
+	}
+	// Singleflight: an identical config already queued or running is
+	// joined, not re-simulated.
+	if live, ok := s.inflight[hash]; ok {
+		s.mu.Unlock()
+		s.met.deduped.Inc()
+		st := live.status(false)
+		st.Deduped = true
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	j := s.newJob(hash, cfg, timeout)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		s.met.rejected.Inc()
+		writeJSON(w, http.StatusTooManyRequests, submitError{
+			Error: fmt.Sprintf("queue full (%d jobs waiting); retry later", s.opts.QueueDepth)})
+		return
+	}
+	s.registerLocked(j)
+	s.inflight[hash] = j
+	s.mu.Unlock()
+	s.met.submitted.Inc()
+	w.Header().Set("Location", "/v1/runs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// registerLocked records a job in the ID index. Caller holds s.mu.
+func (s *Server) registerLocked(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, submitError{Error: "no such run"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]runStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, submitError{Error: "no such run"})
+		return
+	}
+	j.cancel()
+	// A job still waiting in the queue never reaches a worker's
+	// RunContext poll promptly, so resolve it here; runJob's terminal
+	// setState is a no-op if the worker picks it up concurrently.
+	j.setState(stateCanceled, nil, "canceled by request")
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, submitError{Error: "no such run"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, submitError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, cur := j.subscribe()
+	defer j.unsubscribe(ch)
+	writeEvent(w, cur)
+	flusher.Flush()
+	if jobState(cur.State).terminal() {
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			writeEvent(w, ev)
+			flusher.Flush()
+			if jobState(ev.State).terminal() {
+				return
+			}
+		case <-j.done:
+			writeEvent(w, j.event())
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame.
+func writeEvent(w io.Writer, ev jobEvent) {
+	b, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "event: state\ndata: %s\n\n", b)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, workload.Suite())
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.Describe())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	jobs := len(s.jobs)
+	cached := s.cache.len()
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"workers":   s.opts.Workers,
+		"running":   s.running.Load(),
+		"queued":    len(s.queue),
+		"queue_cap": s.opts.QueueDepth,
+		"jobs":      jobs,
+		"cached":    cached,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snap := s.reg.Snapshot()
+	if err := snap.WriteProm(w, "nocstar"); err != nil {
+		return
+	}
+	// The shared pool's own counters, for dedup observability.
+	p := s.pool.Progress()
+	fmt.Fprintf(w, "# TYPE nocstar_pool_submitted counter\nnocstar_pool_submitted %d\n", p.Submitted)
+	fmt.Fprintf(w, "# TYPE nocstar_pool_completed counter\nnocstar_pool_completed %d\n", p.Completed)
+	fmt.Fprintf(w, "# TYPE nocstar_pool_deduped counter\nnocstar_pool_deduped %d\n", p.Deduped)
+}
+
+// writeJSON writes a JSON response with the given status. No indenting:
+// an indenting encoder would reformat embedded json.RawMessage results
+// and break their byte identity with a direct in-process Run.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,431 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nocstar/internal/system"
+)
+
+// smallConfig finishes in well under a second; seed varies the run so
+// tests that must avoid dedup can diverge.
+func smallConfig(seed int64) string {
+	return fmt.Sprintf(`{
+		"schema": 1, "org": "nocstar", "cores": 4,
+		"apps": [{"workload": "gups", "threads": 4}],
+		"instr_per_thread": 5000, "seed": %d
+	}`, seed)
+}
+
+// endlessConfig would simulate for hours; only cancellation ends it.
+func endlessConfig(seed int64) string {
+	return fmt.Sprintf(`{
+		"schema": 1, "org": "nocstar", "cores": 4,
+		"apps": [{"workload": "gups", "threads": 4}],
+		"instr_per_thread": 1099511627776, "seed": %d
+	}`, seed)
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ts
+}
+
+func postRun(t *testing.T, base, body string) (int, runStatus) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st runStatus
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decoding %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func pollUntilTerminal(t *testing.T, base, id string) runStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st runStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jobState(st.State).terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s stuck in state %q", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSubmitPollByteIdentical is the service's core contract: the
+// result served over HTTP is byte-for-byte the marshaled Result of a
+// direct in-process Run of the same config.
+func TestSubmitPollByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	body := smallConfig(1)
+
+	cfg, err := system.UnmarshalConfig([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, st := postRun(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	final := pollUntilTerminal(t, ts.URL, st.ID)
+	if final.State != string(stateDone) {
+		t.Fatalf("run ended %s: %s", final.State, final.Error)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Fatalf("HTTP result differs from direct run (%d vs %d bytes)", len(final.Result), len(want))
+	}
+
+	// Resubmission is a cache hit with the same bytes.
+	code, again := postRun(t, ts.URL, body)
+	if code != http.StatusOK || !again.Cached {
+		t.Fatalf("resubmit: status %d cached=%v", code, again.Cached)
+	}
+	if !bytes.Equal(again.Result, want) {
+		t.Fatal("cached result differs from direct run")
+	}
+}
+
+// TestConcurrentDuplicatesSingleflight hammers one config from many
+// goroutines and checks exactly one simulation executed.
+func TestConcurrentDuplicatesSingleflight(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 64})
+	body := smallConfig(2)
+
+	const clients = 16
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var st runStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+
+	// Every submission resolved to the same job (or a cache hit on it).
+	final := pollUntilTerminal(t, ts.URL, ids[0])
+	if final.State != string(stateDone) {
+		t.Fatalf("run ended %s: %s", final.State, final.Error)
+	}
+	for _, id := range ids {
+		st := pollUntilTerminal(t, ts.URL, id)
+		if !bytes.Equal(st.Result, final.Result) {
+			t.Fatalf("job %s result differs", id)
+		}
+	}
+	if got := srv.met.executed.Value(); got != 1 {
+		t.Fatalf("%d clients caused %d executions, want 1", clients, got)
+	}
+}
+
+// TestCancellation submits an effectively endless run and checks DELETE
+// stops it promptly.
+func TestCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, st := postRun(t, ts.URL, endlessConfig(3))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	time.Sleep(100 * time.Millisecond) // let the worker get into the run
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	start := time.Now()
+	final := pollUntilTerminal(t, ts.URL, st.ID)
+	if final.State != string(stateCanceled) {
+		t.Fatalf("run ended %s, want canceled", final.State)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestRunTimeout checks the ?timeout= deadline cancels a run on its own.
+func TestRunTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, st := postRun(t, ts.URL+"", endlessConfig(4))
+	_ = st
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	// A second distinct endless run with a short deadline.
+	resp, err := http.Post(ts.URL+"/v1/runs?timeout=200ms", "application/json",
+		strings.NewReader(endlessConfig(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timed runStatus
+	if err := json.NewDecoder(resp.Body).Decode(&timed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Free the single worker so the timed run gets scheduled.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	final := pollUntilTerminal(t, ts.URL, timed.ID)
+	if final.State != string(stateCanceled) {
+		t.Fatalf("deadlined run ended %s (%s), want canceled", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", final.Error)
+	}
+}
+
+// TestValidationErrors checks malformed and invalid configs map to 400
+// with typed field errors.
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	// Invalid config: missing cores, zero threads.
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"schema": 1, "org": "nocstar", "apps": [{"workload": "gups", "threads": 0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid config: status %d, want 400", resp.StatusCode)
+	}
+	var se struct {
+		Error  string              `json:"error"`
+		Fields []system.FieldError `json:"fields"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&se); err != nil {
+		t.Fatal(err)
+	}
+	fields := map[string]bool{}
+	for _, f := range se.Fields {
+		fields[f.Field] = true
+	}
+	if !fields["Cores"] || !fields["Apps[0].Threads"] {
+		t.Fatalf("400 body missing typed field errors: %+v", se)
+	}
+
+	// Unknown field: decode-level rejection, still 400.
+	resp2, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"org": "nocstar", "coars": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp2.StatusCode)
+	}
+
+	// Bad timeout parameter.
+	resp3, err := http.Post(ts.URL+"/v1/runs?timeout=soon", "application/json",
+		strings.NewReader(smallConfig(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout: status %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestQueueFull checks backpressure: with one worker and a one-slot
+// queue, a burst of distinct long runs sees 429s.
+func TestQueueFull(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	var accepted []string
+	rejected := 0
+	for seed := int64(10); seed < 15; seed++ {
+		code, st := postRun(t, ts.URL, endlessConfig(seed))
+		switch code {
+		case http.StatusAccepted:
+			accepted = append(accepted, st.ID)
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if len(accepted) == 0 || rejected == 0 {
+		t.Fatalf("want a mix of accepted and 429, got %d accepted, %d rejected",
+			len(accepted), rejected)
+	}
+	// Unblock the pool so Cleanup's drain does not wait on endless runs.
+	for _, id := range accepted {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// TestEvents streams SSE frames and checks the stream replays the
+// current state and closes on a terminal one.
+func TestEvents(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, st := postRun(t, ts.URL, smallConfig(6))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var states []string
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, ev.State)
+	}
+	if len(states) == 0 {
+		t.Fatal("no SSE frames received")
+	}
+	last := states[len(states)-1]
+	if !jobState(last).terminal() {
+		t.Fatalf("stream ended on non-terminal state %q (saw %v)", last, states)
+	}
+}
+
+// TestReadEndpoints smokes the read-only surface.
+func TestReadEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	for _, tc := range []struct{ path, want string }{
+		{"/healthz", `"status":"ok"`},
+		{"/v1/workloads", "canneal"},
+		{"/v1/experiments", "fig12"},
+		{"/v1/runs", "[]"},
+		{"/metrics", "nocstar_server_http_requests"},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", tc.path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Fatalf("GET %s: body missing %q:\n%s", tc.path, tc.want, body)
+		}
+	}
+	// Unknown run is a 404.
+	resp, err := http.Get(ts.URL + "/v1/runs/run-999999-nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestShutdownDrains checks graceful shutdown finishes in-flight work
+// and then refuses new submissions with 503.
+func TestShutdownDrains(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, st := postRun(t, ts.URL, smallConfig(7))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The in-flight run completed rather than being killed.
+	final := pollUntilTerminal(t, ts.URL, st.ID)
+	if final.State != string(stateDone) {
+		t.Fatalf("drained run ended %s: %s", final.State, final.Error)
+	}
+
+	// New work is refused.
+	code, _ = postRun(t, ts.URL, smallConfig(8))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown submit: status %d, want 503", code)
+	}
+}

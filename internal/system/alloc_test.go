@@ -1,7 +1,9 @@
 package system
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"nocstar/internal/engine"
 	"nocstar/internal/metrics"
@@ -38,7 +40,7 @@ func allocTestSystem(t testing.TB) (*System, *engine.Cycle) {
 		MemRefPerInstr: 1.0,
 		BaseCPI:        1.0,
 	}
-	app := App{Spec: spec, Threads: threads, HammerSlice: -1}
+	app := App{Spec: spec, Threads: threads, HammerSlice: HammerNone}
 	for i := 0; i < threads; i++ {
 		app.Streams = append(app.Streams, &ringStream{
 			base:  vm.VirtAddr(0x1000_0000_0000 + uint64(i)*0x4000_0000),
@@ -101,6 +103,30 @@ func TestAccessL2AllocFreeWithTracer(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("traced translation path allocates: %.1f allocs per 20k cycles, want 0", avg)
+	}
+}
+
+// TestAccessL2AllocFreeWithContext repeats the allocation pin while the
+// engine is driven through the context-polling path (advanceCtx with a
+// live cancellable context, as RunContext uses): the strided polling
+// sits outside the event loop and must not put the critical path back
+// on the heap.
+func TestAccessL2AllocFreeWithContext(t *testing.T) {
+	s, limit := allocTestSystem(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	var ctxErr error
+	avg := testing.AllocsPerRun(10, func() {
+		*limit += 20_000
+		if err := s.advanceCtx(ctx, *limit); err != nil {
+			ctxErr = err
+		}
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	if avg != 0 {
+		t.Fatalf("context-polled translation path allocates: %.1f allocs per 20k cycles, want 0", avg)
 	}
 }
 

@@ -86,7 +86,7 @@ func legacyReleaseConfig() Config {
 		Cores:   8,
 		Acquire: noc.RoundTripAcquire,
 		Apps: []App{
-			{Spec: smallSpec(), Threads: 1, HammerSlice: -1},
+			{Spec: smallSpec(), Threads: 1, HammerSlice: HammerNone},
 			{Spec: workload.Uniform("hammer", 4000), Threads: 7, HammerSlice: 7},
 		},
 		InstrPerThread: 20_000,

@@ -94,12 +94,18 @@ func (p WalkPolicy) String() string {
 	return "request"
 }
 
+// HammerNone disables App.HammerSlice redirection: the app's L2
+// accesses spread across slices by address as usual. It replaces the
+// bare -1 sentinel the call sites used to spell out.
+const HammerNone = -1
+
 // App is one application in the (possibly multiprogrammed) workload mix.
 type App struct {
 	Spec    workload.Spec
 	Threads int
 	// HammerSlice, when >= 0, redirects every L2 access of this app to
-	// that slice — the Section V "TLB slice microbenchmark".
+	// that slice — the Section V "TLB slice microbenchmark". HammerNone
+	// (the usual setting) disables the redirection.
 	HammerSlice int
 	// Streams, when non-nil, supplies each thread's address stream
 	// (e.g. a trace replayer) instead of the live synthetic generator.
@@ -184,31 +190,15 @@ type Config struct {
 	Seed int64
 }
 
-// Normalized fills defaults and validates, returning the effective config.
+// Normalized validates (Validate) and fills defaults, returning the
+// effective config. All rejection happens up front in Validate with
+// typed field errors; the default-filling below cannot fail.
 func (c Config) Normalized() (Config, error) {
-	if c.Cores <= 0 {
-		return c, fmt.Errorf("system: Cores must be positive, got %d", c.Cores)
-	}
-	if len(c.Apps) == 0 {
-		return c, fmt.Errorf("system: at least one App required")
-	}
-	threads := 0
-	for i, a := range c.Apps {
-		if a.Threads <= 0 {
-			return c, fmt.Errorf("system: app %d has no threads", i)
-		}
-		if a.Streams != nil && len(a.Streams) != a.Threads {
-			return c, fmt.Errorf("system: app %d has %d streams for %d threads",
-				i, len(a.Streams), a.Threads)
-		}
-		threads += a.Threads
+	if err := c.Validate(); err != nil {
+		return c, err
 	}
 	if c.SMT <= 0 {
 		c.SMT = 1
-	}
-	if threads > c.Cores*c.SMT {
-		return c, fmt.Errorf("system: %d threads exceed %d cores x %d SMT",
-			threads, c.Cores, c.SMT)
 	}
 	if c.L1Scale <= 0 {
 		c.L1Scale = 1
@@ -229,12 +219,6 @@ func (c Config) Normalized() (Config, error) {
 	}
 	if c.HPCmax <= 0 {
 		c.HPCmax = 16
-	}
-	if c.Org == MonolithicFixed && c.FixedAccessLatency <= 0 {
-		return c, fmt.Errorf("system: MonolithicFixed requires FixedAccessLatency")
-	}
-	if c.PTW.Mode == ptw.Fixed && c.PTW.FixedLatency <= 0 {
-		return c, fmt.Errorf("system: fixed PTW mode requires FixedLatency")
 	}
 	if c.PTW.Mode == ptw.Variable && c.PTW.PWCEntries == 0 && c.PTW.Overhead == 0 {
 		c.PTW = ptw.DefaultConfig()

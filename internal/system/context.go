@@ -1,0 +1,78 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"nocstar/internal/engine"
+)
+
+// Typed run-termination errors. RunContext maps the context package's
+// sentinel errors onto these so callers (and the HTTP service layer) can
+// distinguish an operator cancellation from an expired deadline with
+// errors.Is, without string matching.
+var (
+	// ErrCanceled reports a run stopped because its context was canceled.
+	ErrCanceled = errors.New("system: run canceled")
+	// ErrDeadlineExceeded reports a run stopped because its context's
+	// deadline passed.
+	ErrDeadlineExceeded = errors.New("system: run deadline exceeded")
+)
+
+// ctxPollStride is the simulated-cycle stride between context polls.
+// Polling sits entirely outside the event loop — the engine runs whole
+// strides at a time — so the translation critical path stays
+// allocation-free and branch-identical whether or not a cancellable
+// context is attached; the alloc-regression gate pins this. One stride
+// is a tiny fraction of any real run (full runs simulate millions of
+// cycles), so cancellation latency is dominated by the wall-clock cost
+// of one stride: microseconds.
+const ctxPollStride = 1 << 16
+
+// RunContext executes one configured simulation to completion under ctx.
+// Cancellation is polled every ctxPollStride simulated cycles; a
+// canceled or deadlined run returns a zero Result and an error matching
+// ErrCanceled or ErrDeadlineExceeded. A background-like context (one
+// whose Done channel is nil) skips polling entirely and is equivalent to
+// Run.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.runCtx(ctx)
+}
+
+// ctxError maps a context error onto the run's typed sentinel, stamped
+// with the cycle the simulation stopped at.
+func (s *System) ctxError(err error) error {
+	kind := ErrCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		kind = ErrDeadlineExceeded
+	}
+	return fmt.Errorf("%w at cycle %d", kind, s.eng.Now())
+}
+
+// advanceCtx drives the engine until hard, polling ctx between
+// ctxPollStride-cycle strides. It returns nil when the engine drains or
+// reaches hard, and the typed cancellation error otherwise.
+func (s *System) advanceCtx(ctx context.Context, hard engine.Cycle) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.eng.RunUntil(hard)
+		return nil
+	}
+	limit := s.eng.Now()
+	for s.eng.Pending() > 0 {
+		if err := ctx.Err(); err != nil {
+			return s.ctxError(err)
+		}
+		limit += ctxPollStride
+		if limit >= hard {
+			s.eng.RunUntil(hard)
+			return nil
+		}
+		s.eng.RunUntil(limit)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"nocstar/internal/workload"
+)
+
+func ctxTestCfg() Config {
+	return Config{
+		Org:   Nocstar,
+		Cores: 4,
+		Apps: []App{{
+			Spec: workload.Spec{
+				Name:           "ctx-test",
+				FootprintPages: 512,
+				MemRefPerInstr: 0.3,
+				BaseCPI:        1.2,
+			},
+			Threads:     4,
+			HammerSlice: HammerNone,
+		}},
+		InstrPerThread: 5_000,
+		Seed:           3,
+	}
+}
+
+// TestRunContextBackgroundEqualsRun pins that attaching a background
+// context changes nothing: Run and RunContext(Background) produce
+// deeply equal Results.
+func TestRunContextBackgroundEqualsRun(t *testing.T) {
+	cfg := ctxTestCfg()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunContext(Background) differs from Run")
+	}
+}
+
+// TestRunContextCancellableEqualsRun pins that a live (cancellable but
+// never canceled) context also changes nothing — the strided polling
+// must not perturb the simulation.
+func TestRunContextCancellableEqualsRun(t *testing.T) {
+	cfg := ctxTestCfg()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b, err := RunContext(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunContext with live context differs from Run")
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, ctxTestCfg())
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestRunContextDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunContext(ctx, ctxTestCfg())
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+}
+
+// TestRunContextCancelMidRun cancels a run that would otherwise
+// simulate for a very long time and checks it stops promptly with the
+// typed error.
+func TestRunContextCancelMidRun(t *testing.T) {
+	cfg := ctxTestCfg()
+	cfg.InstrPerThread = 1 << 40 // would run for hours
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type outcome struct {
+		res Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := RunContext(ctx, cfg)
+		done <- outcome{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let it get well into the run
+	cancel()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled run did not return within 30s")
+	}
+}

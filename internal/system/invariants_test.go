@@ -98,7 +98,7 @@ func TestSharedCapacityScalesHitRate(t *testing.T) {
 		cfg := Config{
 			Org:            IdealShared,
 			Cores:          cores,
-			Apps:           []App{{Spec: spec, Threads: cores, HammerSlice: -1}},
+			Apps:           []App{{Spec: spec, Threads: cores, HammerSlice: HammerNone}},
 			InstrPerThread: 30_000,
 			Seed:           3,
 		}
@@ -185,7 +185,7 @@ func TestUniformWorkloadRuns(t *testing.T) {
 	cfg := Config{
 		Org:            Nocstar,
 		Cores:          4,
-		Apps:           []App{{Spec: workload.Uniform("ub", 2000), Threads: 4, HammerSlice: -1}},
+		Apps:           []App{{Spec: workload.Uniform("ub", 2000), Threads: 4, HammerSlice: HammerNone}},
 		InstrPerThread: 10_000,
 		Seed:           1,
 	}
@@ -220,7 +220,7 @@ func TestTraceReplayDeterministic(t *testing.T) {
 		return Config{
 			Org:            Nocstar,
 			Cores:          4,
-			Apps:           []App{{Spec: spec, Threads: 4, HammerSlice: -1, Streams: mkStreams()}},
+			Apps:           []App{{Spec: spec, Threads: 4, HammerSlice: HammerNone, Streams: mkStreams()}},
 			InstrPerThread: 15_000,
 			Seed:           9,
 		}

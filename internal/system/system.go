@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"nocstar/internal/cache"
@@ -277,13 +278,10 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Run executes the configured simulation to completion.
+// Run executes the configured simulation to completion. It is
+// RunContext with a background context: uncancellable, no deadline.
 func Run(cfg Config) (Result, error) {
-	s, err := New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.run()
+	return RunContext(context.Background(), cfg)
 }
 
 // RunTraced is Run with an event-order observer: observe is invoked for
@@ -301,11 +299,17 @@ func RunTraced(cfg Config, observe func(cycle, seq uint64)) (Result, error) {
 }
 
 func (s *System) run() (Result, error) {
+	return s.runCtx(context.Background())
+}
+
+func (s *System) runCtx(ctx context.Context) (Result, error) {
 	for _, th := range s.threads {
 		s.eng.ScheduleAct(0, s, opThreadLoop, th)
 	}
 	s.startDisturbances()
-	s.eng.RunUntil(maxCycles)
+	if err := s.advanceCtx(ctx, maxCycles); err != nil {
+		return Result{}, err
+	}
 	if s.threadsLive > 0 {
 		return Result{}, fmt.Errorf("system: run exceeded %d cycles with %d threads live",
 			maxCycles, s.threadsLive)
@@ -329,6 +333,17 @@ func (s *System) run() (Result, error) {
 	return s.collect(), nil
 }
 
+// maxRefsPerSlice bounds how many references one threadLoop invocation
+// may retire without yielding to the engine. Between L1 misses the loop
+// runs as plain Go code with the simulated clock frozen; a working set
+// that fits entirely in the L1 TLBs would otherwise retire its whole
+// instruction budget inside a single event — starving every other actor
+// of the cycles those references logically span, and starving
+// RunContext's stride-based cancellation poll, which only runs between
+// engine events. Realistic configs miss every few dozen references and
+// never reach the bound, so their event streams are unchanged.
+const maxRefsPerSlice = 1 << 16
+
 // threadLoop advances a thread through memory references until the next
 // L1 TLB miss, then hands off to the L2 access path.
 func (s *System) threadLoop(th *thread) {
@@ -337,7 +352,20 @@ func (s *System) threadLoop(th *thread) {
 	}
 	ctx := th.app.as.Ctx
 	carry := th.carry
+	budget := maxRefsPerSlice
 	for th.refsLeft > 0 {
+		if budget <= 0 {
+			if whole := engine.Cycle(carry); whole > 0 {
+				th.carry = carry - float64(whole)
+				s.eng.ScheduleAct(whole, s, opThreadLoop, th)
+				return
+			}
+			// Degenerate sub-cycle slice (cyclesPerRef pathologically
+			// small): yielding at delay 0 would respin the same engine
+			// cycle, so keep running instead.
+			budget = maxRefsPerSlice
+		}
+		budget--
 		carry += th.cyclesPerRef
 		th.refsLeft--
 		va := th.gen.Next()

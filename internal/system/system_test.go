@@ -29,7 +29,7 @@ func smallConfig(org Org) Config {
 	return Config{
 		Org:            org,
 		Cores:          8,
-		Apps:           []App{{Spec: smallSpec(), Threads: 8, HammerSlice: -1}},
+		Apps:           []App{{Spec: smallSpec(), Threads: 8, HammerSlice: HammerNone}},
 		InstrPerThread: 20_000,
 		Seed:           3,
 	}
@@ -240,7 +240,7 @@ func TestMultiprogrammedApps(t *testing.T) {
 	cfg := Config{
 		Org:            Nocstar,
 		Cores:          8,
-		Apps:           []App{{Spec: s1, Threads: 4, HammerSlice: -1}, {Spec: s2, Threads: 4, HammerSlice: -1}},
+		Apps:           []App{{Spec: s1, Threads: 4, HammerSlice: HammerNone}, {Spec: s2, Threads: 4, HammerSlice: HammerNone}},
 		InstrPerThread: 20_000,
 		Seed:           3,
 	}
@@ -296,7 +296,7 @@ func TestSliceHammer(t *testing.T) {
 		Org:   Nocstar,
 		Cores: 8,
 		Apps: []App{
-			{Spec: victim, Threads: 1, HammerSlice: -1},
+			{Spec: victim, Threads: 1, HammerSlice: HammerNone},
 			{Spec: hammer, Threads: 7, HammerSlice: 7},
 		},
 		InstrPerThread: 20_000,

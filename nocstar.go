@@ -18,12 +18,12 @@
 //	baseline, _ := nocstar.Run(nocstar.Config{
 //		Org:   nocstar.Private,
 //		Cores: 16,
-//		Apps:  []nocstar.App{{Spec: spec, Threads: 16, HammerSlice: -1}},
+//		Apps:  []nocstar.App{{Spec: spec, Threads: 16, HammerSlice: nocstar.HammerNone}},
 //	})
 //	result, _ := nocstar.Run(nocstar.Config{
 //		Org:   nocstar.Nocstar,
 //		Cores: 16,
-//		Apps:  []nocstar.App{{Spec: spec, Threads: 16, HammerSlice: -1}},
+//		Apps:  []nocstar.App{{Spec: spec, Threads: 16, HammerSlice: nocstar.HammerNone}},
 //	})
 //	fmt.Printf("speedup: %.2fx\n", result.SpeedupOver(baseline))
 //
@@ -32,6 +32,7 @@
 package nocstar
 
 import (
+	"context"
 	"io"
 
 	"nocstar/internal/experiments"
@@ -89,11 +90,44 @@ const (
 // StormConfig enables the Section V TLB-storm microbenchmark co-run.
 type StormConfig = system.StormConfig
 
+// HammerNone disables App.HammerSlice redirection (the usual setting).
+const HammerNone = system.HammerNone
+
+// FieldError names one invalid Config field (see Config.Validate).
+type FieldError = system.FieldError
+
+// ValidationError is the typed list of everything wrong with a Config,
+// returned by Config.Validate.
+type ValidationError = system.ValidationError
+
+// ConfigSchemaVersion identifies the canonical Config JSON layout
+// produced by Config.MarshalCanonical and accepted by UnmarshalConfig.
+const ConfigSchemaVersion = system.ConfigSchemaVersion
+
+// Typed run-termination errors returned by RunContext.
+var (
+	ErrCanceled         = system.ErrCanceled
+	ErrDeadlineExceeded = system.ErrDeadlineExceeded
+)
+
 // WorkloadSpec is the generative model of one benchmark.
 type WorkloadSpec = workload.Spec
 
 // Run executes one configured simulation to completion.
 func Run(cfg Config) (Result, error) { return system.Run(cfg) }
+
+// RunContext is Run under a context: cancellation is polled on a coarse
+// simulated-cycle stride (preserving the allocation-free critical
+// path), and a canceled or deadlined run returns an error matching
+// ErrCanceled or ErrDeadlineExceeded.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	return system.RunContext(ctx, cfg)
+}
+
+// UnmarshalConfig decodes a JSON config document (the canonical
+// encoding Config.MarshalCanonical produces, or hand-written input with
+// suite-workload shorthand), rejecting unknown fields.
+func UnmarshalConfig(data []byte) (Config, error) { return system.UnmarshalConfig(data) }
 
 // Workloads returns the paper's eleven evaluation workloads.
 func Workloads() []WorkloadSpec { return workload.Suite() }

@@ -16,7 +16,7 @@ func TestQuickstartFlow(t *testing.T) {
 		return nocstar.Config{
 			Org:            org,
 			Cores:          8,
-			Apps:           []nocstar.App{{Spec: spec, Threads: 8, HammerSlice: -1}},
+			Apps:           []nocstar.App{{Spec: spec, Threads: 8, HammerSlice: nocstar.HammerNone}},
 			InstrPerThread: 20_000,
 			Seed:           1,
 		}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"nocstar/internal/experiments"
+	"nocstar/internal/runner"
 )
 
 // benchOptions is the reduced scale: three representative workloads and a
@@ -23,7 +24,22 @@ func benchOptions() experiments.Options {
 	}
 }
 
+// reportRefs reports simulation throughput as refs/sec: the memory
+// references completed on the process-wide runner during the benchmark,
+// over its measured wall time. Call it deferred at benchmark entry.
+func reportRefs(b *testing.B) func() {
+	b.ReportAllocs()
+	start := runner.Default().Progress().MemRefs
+	return func() {
+		delta := runner.Default().Progress().MemRefs - start
+		if sec := b.Elapsed().Seconds(); delta > 0 && sec > 0 {
+			b.ReportMetric(float64(delta)/sec, "refs/sec")
+		}
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table1()
 		if len(r.Points) != 6 {
@@ -34,6 +50,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkFig2(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig2(o)
 		b.ReportMetric(r.Eliminated["canneal"][64], "%eliminated-canneal-64c")
@@ -41,6 +58,7 @@ func BenchmarkFig2(b *testing.B) {
 }
 
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig3()
 		b.ReportMetric(float64(r.Cycles[len(r.Cycles)-1]), "cycles-at-64x")
@@ -49,6 +67,7 @@ func BenchmarkFig3(b *testing.B) {
 
 func BenchmarkFig4(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig4(o)
 		b.ReportMetric(r.Average("Shared(9-cc)")/r.Average("Shared(25-cc)"), "9cc-over-25cc")
@@ -57,6 +76,7 @@ func BenchmarkFig4(b *testing.B) {
 
 func BenchmarkFig5(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig5(o)
 		f := r.Fractions["canneal"]
@@ -66,6 +86,7 @@ func BenchmarkFig5(b *testing.B) {
 
 func BenchmarkFig6(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Workloads = []string{"canneal"}
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig6(o)
@@ -75,6 +96,7 @@ func BenchmarkFig6(b *testing.B) {
 }
 
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig9()
 		_, both := r.Costs.InterconnectAreaFraction()
@@ -83,6 +105,7 @@ func BenchmarkFig9(b *testing.B) {
 }
 
 func BenchmarkFig11a(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig11a()
 		last := len(r.Hops) - 1
@@ -91,6 +114,7 @@ func BenchmarkFig11a(b *testing.B) {
 }
 
 func BenchmarkFig11b(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig11b()
 		last := len(r.Hops) - 1
@@ -100,6 +124,7 @@ func BenchmarkFig11b(b *testing.B) {
 
 func BenchmarkFig11c(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig11c(o)
 		// Latency at 0.1 injection, the paper's "high for TLB traffic".
@@ -109,6 +134,7 @@ func BenchmarkFig11c(b *testing.B) {
 
 func BenchmarkFig12(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig12(o)
 		b.ReportMetric(r.Average("NOCSTAR"), "nocstar-speedup-16c-4K")
@@ -117,6 +143,7 @@ func BenchmarkFig12(b *testing.B) {
 
 func BenchmarkFig13(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig13(o)
 		b.ReportMetric(r.Average("NOCSTAR"), "nocstar-speedup-16c-THP")
@@ -125,6 +152,7 @@ func BenchmarkFig13(b *testing.B) {
 
 func BenchmarkFig14(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Workloads = []string{"canneal", "gups"}
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig14(o)
@@ -139,6 +167,7 @@ func BenchmarkFig14(b *testing.B) {
 
 func BenchmarkFig15(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig15(o)
 		b.ReportMetric(r.Average("NOCSTAR")/r.Average("Ideal"), "nocstar-over-ideal")
@@ -147,6 +176,7 @@ func BenchmarkFig15(b *testing.B) {
 
 func BenchmarkFig16Left(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Workloads = []string{"canneal", "gups"}
 	o.CoreCounts = []int{16, 32}
 	for i := 0; i < b.N; i++ {
@@ -157,6 +187,7 @@ func BenchmarkFig16Left(b *testing.B) {
 
 func BenchmarkFig16Right(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Workloads = []string{"canneal", "gups"}
 	o.CoreCounts = []int{32}
 	for i := 0; i < b.N; i++ {
@@ -167,6 +198,7 @@ func BenchmarkFig16Right(b *testing.B) {
 
 func BenchmarkFig17(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Workloads = []string{"canneal", "gups"}
 	o.CoreCounts = []int{16, 32}
 	for i := 0; i < b.N; i++ {
@@ -177,6 +209,7 @@ func BenchmarkFig17(b *testing.B) {
 
 func BenchmarkTable3(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Workloads = []string{"canneal", "gups"}
 	o.Instr = 25_000
 	for i := 0; i < b.N; i++ {
@@ -189,6 +222,7 @@ func BenchmarkTable3(b *testing.B) {
 
 func BenchmarkFig18(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Instr = 20_000
 	o.Combos = 5
 	for i := 0; i < b.N; i++ {
@@ -199,6 +233,7 @@ func BenchmarkFig18(b *testing.B) {
 
 func BenchmarkFig19(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Workloads = []string{"canneal", "gups"}
 	o.Instr = 25_000
 	o.CoreCounts = []int{16, 32}
@@ -212,6 +247,7 @@ func BenchmarkFig19(b *testing.B) {
 
 func BenchmarkSliceHammer(b *testing.B) {
 	o := benchOptions()
+	defer reportRefs(b)()
 	o.Instr = 25_000
 	for i := 0; i < b.N; i++ {
 		r := experiments.SliceHammer(o)

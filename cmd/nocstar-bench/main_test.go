@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	raw := []byte(`goos: linux
+goarch: amd64
+pkg: nocstar
+BenchmarkTable3 	       3	3958353708 ns/op	         1.420 nocstar-fixed80-avg	    504123 refs/sec	904010832 B/op	 1001359 allocs/op
+BenchmarkFig12-8 	       2	 123456789 ns/op	         2.500 nocstar-speedup-16c-4K
+PASS
+ok  	nocstar	15.921s
+`)
+	got := parseBench(raw)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	b := got[0]
+	if b.Name != "BenchmarkTable3" || b.Iterations != 3 {
+		t.Fatalf("bad header parse: %+v", b)
+	}
+	if b.SecPerOp < 3.95 || b.SecPerOp > 3.96 {
+		t.Fatalf("sec_per_op = %v", b.SecPerOp)
+	}
+	if b.BytesPerOp != 904010832 || b.AllocsPerOp != 1001359 {
+		t.Fatalf("memstats: %+v", b)
+	}
+	if b.Metrics["nocstar-fixed80-avg"] != 1.420 || b.Metrics["refs/sec"] != 504123 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+	if got[1].Name != "BenchmarkFig12" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", got[1].Name)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if got := parseBench([]byte("PASS\nok nocstar 1s\n")); len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-bench output", len(got))
+	}
+}

@@ -1,5 +1,7 @@
 package engine
 
+import "math"
+
 // Rand is a small, fast, deterministic pseudo-random source
 // (xorshift64star). It is not safe for concurrent use; each simulated
 // agent owns its own instance so that runs replay identically regardless
@@ -49,8 +51,38 @@ func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Threshold converts a probability into the 53-bit integer threshold
+// Below compares against. For every 64-bit draw u, Float64() < p and
+// u>>11 < Threshold(p) decide identically: Float64 is (u>>11)/2^53, and
+// scaling by 2^53 only shifts the exponent, so p*2^53 is exact and the
+// ceiling makes the strict integer compare match the real compare
+// whether or not p*2^53 is integral.
+func Threshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// Below draws one Uint64 and reports Float64() < p for t = Threshold(p),
+// without the integer-to-float conversion. It consumes exactly one draw,
+// like Float64, so streams interleave identically.
+func (r *Rand) Below(t uint64) bool {
+	return r.Uint64()>>11 < t
+}
+
 // Split derives an independent generator from this one. Useful for giving
 // each simulated core its own stream from one top-level seed.
 func (r *Rand) Split() *Rand {
 	return &Rand{state: r.Uint64() | 1}
+}
+
+// State returns the generator's internal state, for checkpointing.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a state captured by State. A zero state is remapped
+// exactly as NewRand remaps a zero seed, preserving the no-fixed-point
+// invariant.
+func (r *Rand) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	r.state = s
 }

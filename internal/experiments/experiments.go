@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"nocstar/internal/runner"
@@ -31,6 +32,13 @@ type Options struct {
 	// (0 = GOMAXPROCS). Each run is a self-contained deterministic
 	// simulation, so rendered output is byte-identical at any setting.
 	Parallelism int
+	// Warmup is the per-thread warmup instruction budget applied to
+	// every simulation (0 = cold start). Configs that share a warmup
+	// prefix reuse one checkpointed warm state across the sweep.
+	Warmup uint64
+	// Experiment names the figure/table submitting runs; the registry
+	// stamps it so profiles attribute simulations to their experiment.
+	Experiment string
 }
 
 // coreCounts returns the core-count sweep.
@@ -86,6 +94,7 @@ func (o Options) baseConfig(org system.Org, spec workload.Spec, cores int, thp b
 		Apps:           []system.App{{Spec: spec, Threads: cores, HammerSlice: system.HammerNone}},
 		THP:            thp,
 		InstrPerThread: o.Instr,
+		WarmupInstr:    o.Warmup,
 		Seed:           o.Seed,
 	}
 }
@@ -99,16 +108,24 @@ func (o Options) pool() *runner.Runner {
 	return r
 }
 
+// ctx labels submissions with the owning experiment for pprof.
+func (o Options) ctx() context.Context {
+	if o.Experiment == "" {
+		return context.Background()
+	}
+	return runner.WithExperiment(context.Background(), o.Experiment)
+}
+
 // submit schedules a config on the pool.
 func (o Options) submit(cfg system.Config) *runner.Future {
-	return o.pool().Submit(cfg)
+	return o.pool().SubmitContext(o.ctx(), cfg)
 }
 
 // baselineFuture schedules (or retrieves the memoized) private-L2-TLB run
 // every speedup is measured against. The pool's memo cache replaces the
 // old package-level baselineCache map, which had no synchronization.
 func (o Options) baselineFuture(spec workload.Spec, cores int, thp bool) *runner.Future {
-	return o.pool().SubmitCached(o.baseConfig(system.Private, spec, cores, thp))
+	return o.pool().SubmitCachedContext(o.ctx(), o.baseConfig(system.Private, spec, cores, thp))
 }
 
 // privateBaseline is baselineFuture for call sites that need the result

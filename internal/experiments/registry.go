@@ -17,9 +17,12 @@ type Entry struct {
 	Run         func(Options) Renderer
 }
 
-// Registry lists every experiment by figure/table ID.
+// Registry lists every experiment by figure/table ID. Each entry's Run
+// stamps Options.Experiment with its ID (unless the caller set one), so
+// every simulation a driver submits carries its experiment's name as a
+// pprof label.
 func Registry() []Entry {
-	return []Entry{
+	entries := []Entry{
 		{"tab1", "Table I: interconnect design space",
 			func(Options) Renderer { return Table1() }},
 		{"fig2", "Fig. 2: % private L2 TLB misses eliminated by sharing",
@@ -69,6 +72,16 @@ func Registry() []Entry {
 		{"abl-qos", "Ablation: QoS slice partitioning (future work)",
 			func(o Options) Renderer { return AblationQoS(o) }},
 	}
+	for i := range entries {
+		id, run := entries[i].ID, entries[i].Run
+		entries[i].Run = func(o Options) Renderer {
+			if o.Experiment == "" {
+				o.Experiment = id
+			}
+			return run(o)
+		}
+	}
+	return entries
 }
 
 // Description is the marshalable summary of one registry entry, the

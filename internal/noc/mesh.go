@@ -118,3 +118,6 @@ func (s *SMART) LatencyForHops(h int) int {
 	}
 	return s.cfg.SetupCycles + (h+s.cfg.HPCmax-1)/s.cfg.HPCmax
 }
+
+// ResetStats zeroes the accumulated mesh statistics.
+func (m *Mesh) ResetStats() { m.messages, m.totalLat = 0, 0 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -57,11 +58,17 @@ func (f *Future) Wait() system.Result {
 // Progress is a snapshot of the runner's counters. Submitted counts
 // scheduled executions (deduplicated submissions are not re-counted);
 // Completed counts finished ones; Deduped counts submissions resolved by
-// an identical in-flight or memoized run.
+// an identical in-flight or memoized run; Warmups counts warm-state
+// checkpoint constructions — in a sweep whose configs share a warmup
+// prefix, exactly one warmup executes no matter how many runs reuse it.
 type Progress struct {
 	Submitted uint64
 	Completed uint64
 	Deduped   uint64
+	Warmups   uint64
+	// MemRefs totals the simulated memory references of completed runs;
+	// benchmarks delta it against wall time for a refs/sec throughput.
+	MemRefs uint64
 }
 
 // Runner is a bounded worker pool with in-flight deduplication and an
@@ -71,12 +78,23 @@ type Runner struct {
 	cond     *sync.Cond
 	active   int
 	limit    int
-	inflight map[string]*call // keyed in-flight runs (singleflight)
-	memo     map[string]*call // completed SubmitCached runs
+	inflight map[string]*call     // keyed in-flight runs (singleflight)
+	memo     map[string]*call     // completed SubmitCached runs
+	warm     map[string]*warmCall // warm-state checkpoints by WarmupKey
 
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	deduped   atomic.Uint64
+	warmups   atomic.Uint64
+	memRefs   atomic.Uint64
+}
+
+// warmCall is one warmup execution, shared by every run whose config
+// carries the same WarmupKey.
+type warmCall struct {
+	done chan struct{}
+	cp   *system.Checkpoint
+	err  error
 }
 
 // New returns a runner executing at most parallelism simulations at once.
@@ -85,6 +103,7 @@ func New(parallelism int) *Runner {
 	r := &Runner{
 		inflight: map[string]*call{},
 		memo:     map[string]*call{},
+		warm:     map[string]*warmCall{},
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.limit = normalize(parallelism)
@@ -133,6 +152,8 @@ func (r *Runner) Progress() Progress {
 		Submitted: r.submitted.Load(),
 		Completed: r.completed.Load(),
 		Deduped:   r.deduped.Load(),
+		Warmups:   r.warmups.Load(),
+		MemRefs:   r.memRefs.Load(),
 	}
 }
 
@@ -159,6 +180,12 @@ func (r *Runner) SubmitContext(ctx context.Context, cfg system.Config) *Future {
 // shared across experiments, such as private baselines.
 func (r *Runner) SubmitCached(cfg system.Config) *Future {
 	return r.submit(context.Background(), cfg, true)
+}
+
+// SubmitCachedContext is SubmitCached with a context governing the
+// execution (and carrying the WithExperiment label, if any).
+func (r *Runner) SubmitCachedContext(ctx context.Context, cfg system.Config) *Future {
+	return r.submit(ctx, cfg, true)
 }
 
 // Run is Submit followed by Wait.
@@ -195,8 +222,24 @@ func (r *Runner) submit(ctx context.Context, cfg system.Config, cache bool) *Fut
 
 func (r *Runner) execute(ctx context.Context, cfg system.Config, c *call, key string, cache bool) {
 	r.acquire()
-	c.res, c.err = system.RunContext(ctx, cfg)
+	// Label the execution for CPU profiles: pprof samples taken while
+	// this run executes carry the config's identity and the experiment
+	// that submitted it, so a sweep profile decomposes by figure and by
+	// config rather than blurring every simulation together.
+	hash, err := cfg.CanonicalHash()
+	if err != nil {
+		hash = "unkeyed"
+	}
+	pprof.Do(ctx, pprof.Labels(
+		"nocstar_config", hash,
+		"nocstar_experiment", Experiment(ctx),
+	), func(ctx context.Context) {
+		c.res, c.err = r.runOne(ctx, cfg)
+	})
 	r.release()
+	if c.err == nil {
+		r.memRefs.Add(c.res.MemRefs)
+	}
 	if key != "" {
 		r.mu.Lock()
 		delete(r.inflight, key)
@@ -207,6 +250,48 @@ func (r *Runner) execute(ctx context.Context, cfg system.Config, c *call, key st
 	}
 	close(c.done)
 	r.completed.Add(1)
+}
+
+// runOne executes one simulation, going through the shared warm-state
+// checkpoint when the config warms up. The warmup for each WarmupKey is
+// built once (singleflight) and restored into every run that shares it.
+// A failed warmup — cancellation, model error — falls back to the full
+// inline path, which produces the identical result and reports its own
+// error faithfully, so the checkpoint layer can never change an outcome.
+func (r *Runner) runOne(ctx context.Context, cfg system.Config) (system.Result, error) {
+	if wkey, ok := system.WarmupKey(cfg); ok {
+		if cp, err := r.warmCheckpoint(ctx, cfg, wkey); err == nil {
+			return system.RunFromCheckpoint(ctx, cfg, cp)
+		}
+	}
+	return system.RunContext(ctx, cfg)
+}
+
+// warmCheckpoint returns the shared checkpoint for wkey, building it from
+// cfg's warmup phase if no other run got there first. Joiners block on
+// the owner; the owner holds its own worker slot and never waits on
+// another, so the rendezvous cannot deadlock at any parallelism. A
+// failed build is not cached — the next submission retries.
+func (r *Runner) warmCheckpoint(ctx context.Context, cfg system.Config, wkey string) (*system.Checkpoint, error) {
+	r.mu.Lock()
+	if w, ok := r.warm[wkey]; ok {
+		r.mu.Unlock()
+		<-w.done
+		return w.cp, w.err
+	}
+	w := &warmCall{done: make(chan struct{})}
+	r.warm[wkey] = w
+	r.mu.Unlock()
+	w.cp, w.err = system.WarmupCheckpoint(ctx, cfg)
+	if w.err != nil {
+		r.mu.Lock()
+		delete(r.warm, wkey)
+		r.mu.Unlock()
+	} else {
+		r.warmups.Add(1)
+	}
+	close(w.done)
+	return w.cp, w.err
 }
 
 // acquire blocks until a worker slot is free.
@@ -264,4 +349,22 @@ func Key(cfg system.Config) (key string, ok bool) {
 		return "", false
 	}
 	return string(b), true
+}
+
+// experimentKey carries the submitting experiment's name in a context.
+type experimentKey struct{}
+
+// WithExperiment labels ctx with the experiment (figure/table) that owns
+// the runs submitted under it; the runner attaches it as a pprof label.
+func WithExperiment(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, experimentKey{}, name)
+}
+
+// Experiment reports the experiment name ctx was labeled with, or
+// "unlabeled".
+func Experiment(ctx context.Context) string {
+	if name, ok := ctx.Value(experimentKey{}).(string); ok && name != "" {
+		return name
+	}
+	return "unlabeled"
 }

@@ -1,0 +1,258 @@
+// Warm-state checkpointing.
+//
+// A sweep typically varies measurement-phase knobs (shootdown intervals,
+// storms, instruction budgets) across configs that share an identical
+// warmup: same machine, same workloads, same seed. Re-simulating that
+// warmup per config is pure waste, so the warmup phase can be captured
+// once as a Checkpoint — a deep copy of every piece of simulation state
+// the measurement phase reads — and restored into fresh Systems for each
+// measurement run. Restoration is constructed to be indistinguishable
+// from the inline warmup path: the checkpoint is taken at the exact
+// boundary where the inline path calls boundaryReset, the engine's
+// (cycle, seq) schedule position is restored verbatim, and every mutable
+// structure is cloned, never aliased, so one checkpoint can seed many
+// concurrent restores. Results are byte-identical either way; a
+// determinism test pins this.
+package system
+
+import (
+	"context"
+	"fmt"
+
+	"nocstar/internal/cache"
+	"nocstar/internal/engine"
+	"nocstar/internal/ptw"
+	"nocstar/internal/tlb"
+	"nocstar/internal/vm"
+	"nocstar/internal/workload"
+)
+
+// CheckpointVersion identifies the in-memory checkpoint layout. It is a
+// guard against restoring a checkpoint across incompatible code
+// revisions if checkpoints ever become persistent; today checkpoints
+// live only within one process.
+const CheckpointVersion = 1
+
+// coreCheckpoint is one tile's warm state.
+type coreCheckpoint struct {
+	l1           tlb.GroupSnapshot
+	priv         *tlb.Snapshot // Private organization only
+	privPortFree engine.Cycle
+	walker       ptw.Snapshot
+	l2           cache.Snapshot // the walker hierarchy's private L2 share
+}
+
+// Checkpoint is the warm state of a System at its measurement boundary.
+// It is immutable once taken: Restore clones, never aliases, so a single
+// checkpoint may be restored into many Systems, concurrently.
+type Checkpoint struct {
+	version int
+	key     string // WarmupKey of the config family this warms
+	clock   engine.Clock
+	rng     uint64
+
+	cores  []coreCheckpoint
+	llc    cache.Snapshot // the chip's shared LLC, captured once
+	slices []tlb.Snapshot
+	mono   *tlb.Snapshot
+
+	slicePortFree  []engine.Cycle
+	bankPortFree   []engine.Cycle
+	leaderFree     []engine.Cycle
+	fabricReserved []engine.Cycle // nil when the config has no NOCSTAR fabric
+
+	spaces []*vm.AddressSpace // per-app page tables and allocators
+	gens   []workload.State   // per-thread generator positions
+}
+
+// Key reports the WarmupKey this checkpoint was taken under.
+func (cp *Checkpoint) Key() string { return cp.key }
+
+// WarmupKey derives the cache key under which cfg's warmup state may be
+// shared: the canonical hash of the warmup-relevant config prefix. Two
+// configs with equal keys perform byte-identical warmups, so one
+// checkpoint serves both. The derivation overwrites the measured
+// instruction budget with the warmup budget and strips the
+// measurement-phase-only knobs (shootdowns and storms never run during
+// warmup). ok is false when the config does not warm up (WarmupInstr
+// zero) or cannot be keyed — attached Checker or injected Streams, the
+// same conditions that already exclude a config from runner dedup.
+func WarmupKey(cfg Config) (key string, ok bool) {
+	if cfg.WarmupInstr == 0 || cfg.Check != nil {
+		return "", false
+	}
+	w := cfg
+	w.InstrPerThread = cfg.WarmupInstr
+	w.WarmupInstr = 0
+	w.ShootdownInterval = 0
+	w.Storm = nil
+	h, err := w.CanonicalHash()
+	if err != nil {
+		return "", false
+	}
+	return h, true
+}
+
+// WarmupCheckpoint builds a fresh system for cfg, runs its warmup phase,
+// and captures the boundary state. The returned checkpoint restores into
+// any config whose WarmupKey equals cfg's.
+func WarmupCheckpoint(ctx context.Context, cfg Config) (*Checkpoint, error) {
+	key, ok := WarmupKey(cfg)
+	if !ok {
+		return nil, fmt.Errorf("system: config has no warmup key (WarmupInstr zero or unkeyable)")
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.warmup(ctx); err != nil {
+		return nil, err
+	}
+	return s.checkpoint(key)
+}
+
+// RunFromCheckpoint builds a fresh system for cfg, restores cp in place
+// of running the warmup, and executes the measurement phase. The result
+// is byte-identical to RunContext(ctx, cfg).
+func RunFromCheckpoint(ctx context.Context, cfg Config, cp *Checkpoint) (Result, error) {
+	key, ok := WarmupKey(cfg)
+	if !ok {
+		return Result{}, fmt.Errorf("system: config has no warmup key")
+	}
+	if key != cp.key {
+		return Result{}, fmt.Errorf("system: checkpoint key mismatch: config warms %s, checkpoint holds %s",
+			key[:12], cp.key[:12])
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.restore(cp); err != nil {
+		return Result{}, err
+	}
+	return s.measured(ctx)
+}
+
+// checkpoint captures the system's warm state. It must be called exactly
+// at the measurement boundary (immediately after warmup's
+// boundaryReset): statistics are assumed zero and no events pending.
+func (s *System) checkpoint(key string) (*Checkpoint, error) {
+	if s.eng.Pending() > 0 {
+		return nil, fmt.Errorf("system: checkpoint with %d events pending", s.eng.Pending())
+	}
+	cp := &Checkpoint{
+		version: CheckpointVersion,
+		key:     key,
+		clock:   s.eng.Clock(),
+		rng:     s.rng.State(),
+		llc:     s.cores[0].hier.Level(1).Snapshot(),
+
+		slicePortFree: append([]engine.Cycle(nil), s.slicePortFree...),
+		bankPortFree:  append([]engine.Cycle(nil), s.bankPortFree...),
+		leaderFree:    append([]engine.Cycle(nil), s.leaderFree...),
+	}
+	for _, c := range s.cores {
+		cc := coreCheckpoint{
+			l1:           c.l1.Snapshot(),
+			privPortFree: c.privPortFree,
+			walker:       c.walker.Snapshot(),
+			l2:           c.hier.Level(0).Snapshot(),
+		}
+		if c.privL2 != nil {
+			snap := c.privL2.Snapshot()
+			cc.priv = &snap
+		}
+		cp.cores = append(cp.cores, cc)
+	}
+	for _, sl := range s.slices {
+		cp.slices = append(cp.slices, sl.Snapshot())
+	}
+	if s.mono != nil {
+		snap := s.mono.Snapshot()
+		cp.mono = &snap
+	}
+	if s.fabric != nil {
+		cp.fabricReserved = s.fabric.SnapshotReserved()
+	}
+	for _, a := range s.apps {
+		cp.spaces = append(cp.spaces, a.as.Clone())
+	}
+	for _, th := range s.threads {
+		g, ok := th.gen.(*workload.Generator)
+		if !ok {
+			return nil, fmt.Errorf("system: checkpoint requires generative workloads, thread has %T", th.gen)
+		}
+		cp.gens = append(cp.gens, g.State())
+	}
+	return cp, nil
+}
+
+// restore overwrites a freshly constructed system's state with cp. It
+// must run before any event is scheduled.
+func (s *System) restore(cp *Checkpoint) error {
+	if cp.version != CheckpointVersion {
+		return fmt.Errorf("system: checkpoint version %d, want %d", cp.version, CheckpointVersion)
+	}
+	switch {
+	case len(cp.cores) != len(s.cores),
+		len(cp.slices) != len(s.slices),
+		(cp.mono != nil) != (s.mono != nil),
+		(cp.fabricReserved != nil) != (s.fabric != nil),
+		len(cp.slicePortFree) != len(s.slicePortFree),
+		len(cp.bankPortFree) != len(s.bankPortFree),
+		len(cp.leaderFree) != len(s.leaderFree),
+		len(cp.spaces) != len(s.apps),
+		len(cp.gens) != len(s.threads):
+		return fmt.Errorf("system: checkpoint shape does not match configuration")
+	}
+	s.eng.SetClock(cp.clock)
+	s.rng.SetState(cp.rng)
+	for i, c := range s.cores {
+		cc := &cp.cores[i]
+		if err := c.l1.RestoreSnapshot(cc.l1); err != nil {
+			return err
+		}
+		c.privPortFree = cc.privPortFree
+		c.walker.RestoreSnapshot(cc.walker)
+		c.hier.Level(0).RestoreSnapshot(cc.l2)
+		if (c.privL2 != nil) != (cc.priv != nil) {
+			return fmt.Errorf("system: checkpoint organization does not match configuration")
+		}
+		if c.privL2 != nil {
+			if err := c.privL2.RestoreSnapshot(*cc.priv); err != nil {
+				return err
+			}
+		}
+	}
+	s.cores[0].hier.Level(1).RestoreSnapshot(cp.llc)
+	for i, sl := range s.slices {
+		if err := sl.RestoreSnapshot(cp.slices[i]); err != nil {
+			return err
+		}
+	}
+	if s.mono != nil {
+		if err := s.mono.RestoreSnapshot(*cp.mono); err != nil {
+			return err
+		}
+	}
+	copy(s.slicePortFree, cp.slicePortFree)
+	copy(s.bankPortFree, cp.bankPortFree)
+	copy(s.leaderFree, cp.leaderFree)
+	if s.fabric != nil {
+		s.fabric.RestoreReserved(cp.fabricReserved)
+	}
+	// Clone again per restore: the checkpoint's spaces stay pristine so
+	// further restores (possibly concurrent) see the same state.
+	for i, a := range s.apps {
+		a.as = cp.spaces[i].Clone()
+	}
+	for i, th := range s.threads {
+		g, ok := th.gen.(*workload.Generator)
+		if !ok {
+			return fmt.Errorf("system: restore requires generative workloads, thread has %T", th.gen)
+		}
+		g.SetState(cp.gens[i])
+	}
+	s.measureStart = cp.clock.Now
+	return nil
+}

@@ -1,0 +1,141 @@
+package system
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// warmConfig is smallConfig with a warmup phase attached.
+func warmConfig(org Org) Config {
+	cfg := smallConfig(org)
+	cfg.WarmupInstr = 5_000
+	return cfg
+}
+
+// TestCheckpointRestoreMatchesInline is the subsystem's core contract:
+// restoring a warmup checkpoint into a fresh system and measuring must
+// produce a Result byte-identical to running warmup + measurement inline
+// in one system.
+func TestCheckpointRestoreMatchesInline(t *testing.T) {
+	ctx := context.Background()
+	for _, org := range []Org{Private, MonolithicMesh, DistributedMesh, Nocstar, IdealShared} {
+		cfg := warmConfig(org)
+		inline, err := RunContext(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%v: inline: %v", org, err)
+		}
+		cp, err := WarmupCheckpoint(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%v: checkpoint: %v", org, err)
+		}
+		restored, err := RunFromCheckpoint(ctx, cfg, cp)
+		if err != nil {
+			t.Fatalf("%v: restore: %v", org, err)
+		}
+		if !reflect.DeepEqual(inline, restored) {
+			t.Fatalf("%v: restored result differs from inline warmup run\ninline:   %+v\nrestored: %+v",
+				org, inline, restored)
+		}
+	}
+}
+
+// TestCheckpointRestoreIsRepeatable pins that one checkpoint restores
+// into many systems without being consumed or mutated: a second restore
+// must match the first, and a config differing only in measurement-phase
+// knobs (instruction budget, shootdowns) may reuse the same checkpoint.
+func TestCheckpointRestoreIsRepeatable(t *testing.T) {
+	ctx := context.Background()
+	cfg := warmConfig(Nocstar)
+	cp, err := WarmupCheckpoint(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunFromCheckpoint(ctx, cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunFromCheckpoint(ctx, cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("second restore from the same checkpoint differs from the first")
+	}
+
+	other := cfg
+	other.InstrPerThread = 30_000
+	other.ShootdownInterval = 40_000
+	if k1, _ := WarmupKey(cfg); true {
+		k2, ok := WarmupKey(other)
+		if !ok || k1 != k2 {
+			t.Fatalf("measurement-phase knobs changed the warmup key: %q vs %q", k1, k2)
+		}
+	}
+	inline, err := RunContext(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RunFromCheckpoint(ctx, other, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inline, restored) {
+		t.Fatal("cross-config restore differs from that config's inline warmup run")
+	}
+}
+
+func TestWarmupKey(t *testing.T) {
+	cfg := warmConfig(Nocstar)
+	key, ok := WarmupKey(cfg)
+	if !ok || key == "" {
+		t.Fatal("expected a warmup key")
+	}
+
+	cold := cfg
+	cold.WarmupInstr = 0
+	if _, ok := WarmupKey(cold); ok {
+		t.Fatal("config without warmup must not be keyable")
+	}
+
+	diff := warmConfig(Nocstar)
+	diff.Cores = 16
+	diff.Apps[0].Threads = 16
+	k2, ok := WarmupKey(diff)
+	if !ok || k2 == key {
+		t.Fatal("warmup-relevant change must change the key")
+	}
+
+	mism := warmConfig(Nocstar)
+	mism.WarmupInstr = 7_000
+	k3, ok := WarmupKey(mism)
+	if !ok || k3 == key {
+		t.Fatal("different warmup length must change the key")
+	}
+	if _, err := RunFromCheckpoint(context.Background(), mism, mustCheckpoint(t, cfg)); err == nil {
+		t.Fatal("restore with mismatched key must fail")
+	}
+}
+
+func mustCheckpoint(t *testing.T, cfg Config) *Checkpoint {
+	t.Helper()
+	cp, err := WarmupCheckpoint(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestWarmupChangesMeasurement sanity-checks that warmup actually warms:
+// a warmed run must see fewer L2 TLB misses per reference than a cold
+// run of the same measured length.
+func TestWarmupChangesMeasurement(t *testing.T) {
+	cold := mustRun(t, smallConfig(Nocstar))
+	warm := mustRun(t, warmConfig(Nocstar))
+	if warm.MemRefs != cold.MemRefs {
+		t.Fatalf("measured reference counts differ: warm %d cold %d", warm.MemRefs, cold.MemRefs)
+	}
+	if warm.Walks >= cold.Walks {
+		t.Fatalf("warmup did not reduce page walks: warm %d >= cold %d", warm.Walks, cold.Walks)
+	}
+}

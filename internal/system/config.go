@@ -173,6 +173,14 @@ type Config struct {
 	Apps []App
 	// InstrPerThread is the instruction budget simulated per thread.
 	InstrPerThread uint64
+	// WarmupInstr, when nonzero, prepends a warmup phase of that many
+	// instructions per thread before measurement begins: the warmup
+	// executes the same workload generators (filling TLBs, page tables,
+	// PTE caches) and then every statistic is reset at the boundary, so
+	// the Result covers only the measured InstrPerThread instructions.
+	// Sweep runners share one warmup across configs that agree on the
+	// warmup-relevant prefix (see WarmupKey).
+	WarmupInstr uint64
 	// ShootdownInterval, when nonzero, remaps a random page every N
 	// cycles, generating steady shootdown traffic (Fig. 16 right).
 	ShootdownInterval uint64

@@ -28,7 +28,9 @@ import (
 // ConfigSchemaVersion identifies the canonical Config JSON layout. Bump
 // it on any breaking change to the document structure; decoding rejects
 // documents stamped with a newer version than it understands.
-const ConfigSchemaVersion = 1
+//
+// v2 added warmup_instr.
+const ConfigSchemaVersion = 2
 
 // orgTokens are the stable wire names of the organizations.
 var orgTokens = map[Org]string{
@@ -94,6 +96,7 @@ type configJSON struct {
 	NoSpeculativeResponse bool       `json:"no_speculative_response"`
 	Apps                  []appJSON  `json:"apps"`
 	InstrPerThread        uint64     `json:"instr_per_thread"`
+	WarmupInstr           uint64     `json:"warmup_instr"`
 	ShootdownInterval     uint64     `json:"shootdown_interval"`
 	Storm                 *stormJSON `json:"storm,omitempty"`
 	Seed                  int64      `json:"seed"`
@@ -194,6 +197,7 @@ func (c Config) MarshalCanonical() ([]byte, error) {
 		QoSMaxCtxWays:         n.QoSMaxCtxWays,
 		NoSpeculativeResponse: n.NoSpeculativeResponse,
 		InstrPerThread:        n.InstrPerThread,
+		WarmupInstr:           n.WarmupInstr,
 		ShootdownInterval:     n.ShootdownInterval,
 		Seed:                  n.Seed,
 	}
@@ -259,6 +263,7 @@ func UnmarshalConfig(data []byte) (Config, error) {
 		QoSMaxCtxWays:         doc.QoSMaxCtxWays,
 		NoSpeculativeResponse: doc.NoSpeculativeResponse,
 		InstrPerThread:        doc.InstrPerThread,
+		WarmupInstr:           doc.WarmupInstr,
 		ShootdownInterval:     doc.ShootdownInterval,
 		Seed:                  doc.Seed,
 	}

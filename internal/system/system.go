@@ -52,6 +52,16 @@ type thread struct {
 	core *core
 	gen  workload.Stream
 
+	// Batched reference generation: when gen supports NextBatch, buf is
+	// refilled a slice at a time and the hot loop consumes it by index
+	// bump; bufPos..bufLen is the unconsumed window. batch is nil for
+	// plain Streams (trace replayers, test stubs), which fall back to
+	// per-reference Next.
+	batch  workload.BatchStream
+	buf    []vm.VirtAddr
+	bufPos int
+	bufLen int
+
 	refsTotal    uint64 // workload length, for end-of-run reconciliation
 	refsLeft     uint64
 	cyclesPerRef float64
@@ -59,6 +69,13 @@ type thread struct {
 	stall        uint64
 	finished     bool
 }
+
+// threadBatchSize is how many references one refill pregenerates.
+// Refills are clamped to refsLeft so the generator never draws past the
+// configured workload length — its RNG state at any phase boundary is
+// exactly what the scalar path would have left, which warm-state
+// checkpointing depends on.
+const threadBatchSize = 1024
 
 // System is one configured machine mid-run.
 type System struct {
@@ -101,6 +118,11 @@ type System struct {
 	meter       energy.Meter
 
 	threadsLive int
+
+	// measureStart is the engine cycle at which the measurement phase
+	// began: 0 in cold runs, the warmup-drain cycle in warmed runs. All
+	// cycle-denominated Result fields are reported relative to it.
+	measureStart engine.Cycle
 
 	// check is the optional invariant checker (Config.Check). Nil in
 	// normal runs: every hot-path hook guards with one nil test.
@@ -260,6 +282,10 @@ func New(cfg Config) (*System, error) {
 				refsLeft:     refs,
 				cyclesPerRef: acfg.Spec.BaseCPI / acfg.Spec.MemRefPerInstr,
 			}
+			if bs, ok := stream.(workload.BatchStream); ok {
+				th.batch = bs
+				th.buf = make([]vm.VirtAddr, threadBatchSize)
+			}
 			s.threads = append(s.threads, th)
 		}
 	}
@@ -303,6 +329,98 @@ func (s *System) run() (Result, error) {
 }
 
 func (s *System) runCtx(ctx context.Context) (Result, error) {
+	if s.cfg.WarmupInstr > 0 {
+		if err := s.warmup(ctx); err != nil {
+			return Result{}, err
+		}
+	}
+	return s.measured(ctx)
+}
+
+// warmup executes Config.WarmupInstr instructions per thread through the
+// normal execution path — filling TLBs, page tables, PTE caches, and NoC
+// reservation state — then resets every statistic at the boundary so the
+// measurement phase reports only its own events. Disturbances
+// (shootdowns, storms) do not run during warmup; they belong to the
+// measured phase. The post-warmup state is exactly what Checkpoint
+// captures, so a run restored from a checkpoint of an identically
+// configured warmup is indistinguishable from this inline path.
+func (s *System) warmup(ctx context.Context) error {
+	for _, th := range s.threads {
+		refs := uint64(float64(s.cfg.WarmupInstr) * th.app.cfg.Spec.MemRefPerInstr)
+		if refs == 0 {
+			refs = 1
+		}
+		th.refsTotal = refs
+		th.refsLeft = refs
+		s.eng.ScheduleAct(0, s, opThreadLoop, th)
+	}
+	if err := s.advanceCtx(ctx, maxCycles); err != nil {
+		return err
+	}
+	if s.threadsLive > 0 {
+		return fmt.Errorf("system: warmup exceeded %d cycles with %d threads live",
+			maxCycles, s.threadsLive)
+	}
+	s.boundaryReset()
+	return nil
+}
+
+// boundaryReset zeroes every statistic and rearms the threads with their
+// measured workload length, leaving all warm microarchitectural state
+// (TLB contents, page tables, caches, link reservations, RNG positions)
+// intact. The engine clock keeps running monotonically across the
+// boundary; measureStart records where measurement began.
+func (s *System) boundaryReset() {
+	s.eng.ResetProcessed()
+	s.reg.Reset()
+	s.conc = stats.ConcurrencyHist{}
+	s.sliceConc = stats.ConcurrencyHist{}
+	s.meter = energy.Meter{}
+	for _, c := range s.cores {
+		c.l1.ResetStats()
+		c.walker.ResetStats()
+		c.hier.ResetStats()
+		if c.privL2 != nil {
+			c.privL2.ResetStats()
+		}
+	}
+	for _, sl := range s.slices {
+		sl.ResetStats()
+	}
+	if s.mono != nil {
+		s.mono.ResetStats()
+	}
+	if s.fabric != nil {
+		s.fabric.ResetStats()
+	}
+	if s.mesh != nil {
+		s.mesh.ResetStats()
+	}
+	for _, a := range s.apps {
+		a.threadsLeft = a.cfg.Threads
+		a.instrDone = 0
+		a.finish = 0
+	}
+	for _, th := range s.threads {
+		refs := uint64(float64(s.cfg.InstrPerThread) * th.app.cfg.Spec.MemRefPerInstr)
+		if refs == 0 {
+			refs = 1
+		}
+		th.refsTotal = refs
+		th.refsLeft = refs
+		th.carry = 0
+		th.stall = 0
+		th.finished = false
+		th.bufPos, th.bufLen = 0, 0
+	}
+	s.threadsLive = len(s.threads)
+	s.measureStart = s.eng.Now()
+}
+
+// measured runs the measurement phase: the full configured workload plus
+// any disturbances, from the current (cold or warmed) state.
+func (s *System) measured(ctx context.Context) (Result, error) {
 	for _, th := range s.threads {
 		s.eng.ScheduleAct(0, s, opThreadLoop, th)
 	}
@@ -367,8 +485,22 @@ func (s *System) threadLoop(th *thread) {
 		}
 		budget--
 		carry += th.cyclesPerRef
+		var va vm.VirtAddr
+		if th.batch != nil {
+			if th.bufPos == th.bufLen {
+				n := len(th.buf)
+				if th.refsLeft < uint64(n) {
+					n = int(th.refsLeft)
+				}
+				th.batch.NextBatch(th.buf[:n])
+				th.bufPos, th.bufLen = 0, n
+			}
+			va = th.buf[th.bufPos]
+			th.bufPos++
+		} else {
+			va = th.gen.Next()
+		}
 		th.refsLeft--
-		va := th.gen.Next()
 		s.m.memRefs.Inc()
 		if e, ok := th.core.l1.Lookup(ctx, va); ok {
 			if s.check != nil {
@@ -405,18 +537,22 @@ func (s *System) finishThread(th *thread, at engine.Cycle) {
 func (s *System) collect() Result {
 	r := Result{Org: s.cfg.Org}
 	for _, a := range s.apps {
+		finish := engine.Cycle(0)
+		if a.finish > s.measureStart {
+			finish = a.finish - s.measureStart
+		}
 		ar := AppResult{
 			Name:         a.cfg.Spec.Name,
 			Instructions: a.instrDone,
-			FinishCycle:  uint64(a.finish),
+			FinishCycle:  uint64(finish),
 		}
-		if a.finish > 0 {
-			ar.IPC = float64(a.instrDone) / float64(a.finish)
+		if finish > 0 {
+			ar.IPC = float64(a.instrDone) / float64(finish)
 		}
 		r.Apps = append(r.Apps, ar)
 		r.Instructions += a.instrDone
-		if uint64(a.finish) > r.Cycles {
-			r.Cycles = uint64(a.finish)
+		if ar.FinishCycle > r.Cycles {
+			r.Cycles = ar.FinishCycle
 		}
 	}
 	if r.Cycles > 0 {

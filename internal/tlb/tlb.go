@@ -19,16 +19,29 @@ type Entry struct {
 	Size  vm.PageSize
 	PFN   uint64 // physical frame number at Size granularity
 	lru   uint64
-	// meta packs (Valid, Ctx, Size) into one word so the way-match loop —
-	// the hottest code in the simulator — compares two words per way
-	// instead of four fields. Zero means invalid; maintained by Insert and
-	// the invalidation paths.
-	meta uint64
 }
 
-// metaFor builds the packed comparison tag of a live entry.
-func metaFor(ctx vm.ContextID, size vm.PageSize) uint64 {
-	return 1<<63 | uint64(ctx)<<8 | uint64(size)
+// Packed-key layout: the way-match loop — the hottest code in the
+// simulator — compares one word per way instead of four fields. Bit 63
+// is the valid bit (a zero key never matches), bits 62-61 the page size,
+// bits 60-45 the 16-bit context ID, and bits 44-0 the VPN. 2^45 4 KiB
+// pages cover a 128 TB address space, beyond every layout constant in
+// the model; keyFor panics if a VPN ever overflows the field rather than
+// silently aliasing.
+const (
+	keyValid    = uint64(1) << 63
+	keySizeLsb  = 61
+	keyCtxLsb   = 45
+	keyVPNBits  = keyCtxLsb
+	keyVPNLimit = uint64(1) << keyVPNBits
+)
+
+// keyFor builds the packed comparison key of a live entry.
+func keyFor(ctx vm.ContextID, size vm.PageSize, vpn uint64) uint64 {
+	if vpn >= keyVPNLimit {
+		panic("tlb: VPN overflows packed key")
+	}
+	return keyValid | uint64(size)<<keySizeLsb | uint64(ctx)<<keyCtxLsb | vpn
 }
 
 // Config describes a TLB array.
@@ -79,7 +92,14 @@ type TLB struct {
 	// slice-of-slices layout — Lookup/Insert are the hottest flat CPU in
 	// the simulator's profile.
 	entries []Entry
-	ways    int
+	// keys mirrors entries as a contiguous set-major block of packed
+	// key words: keys[i] is keyFor(entries[i]) or zero when invalid. The
+	// way-match scan runs over this block — compare every way,
+	// accumulate a match mask, then select — so a whole 4-way set costs
+	// half a 64-byte line and entries is only touched on a hit.
+	// Maintained by Insert and the invalidation paths.
+	keys []uint64
+	ways int
 	nsets   uint64
 	setMask uint64 // nsets-1 when nsets is a power of two, else 0
 	tick    uint64
@@ -109,6 +129,7 @@ func New(cfg Config) *TLB {
 	t := &TLB{
 		cfg:     cfg,
 		entries: make([]Entry, nsets*ways),
+		keys:    make([]uint64, nsets*ways),
 		ways:    ways,
 		nsets:   uint64(nsets),
 		sizes:   sizes,
@@ -151,18 +172,43 @@ func (t *TLB) set(vpn uint64) []Entry {
 	return t.entries[i : i+t.ways]
 }
 
+// findWay scans one set's keys for key and returns the matching way, or
+// -1. At most one way matches (Insert refreshes duplicates in place).
+// A branch-free compare-all-then-select variant of this scan (accumulate
+// per-way equality bits into a mask, pick with bits.TrailingZeros64) was
+// benchmarked in BenchmarkLookup* and lost to the early exit on both hit
+// and miss: with ≤8 single-word keys per set the whole block is one or
+// two cache lines either way, and the predictable early exit saves the
+// mask bookkeeping. Lookup repeats this body inline — keep them in sync.
+func (t *TLB) findWay(base int, key uint64) int {
+	keys := t.keys[base : base+t.ways]
+	for w := 0; w < len(keys); w++ {
+		if keys[w] == key {
+			return w
+		}
+	}
+	return -1
+}
+
 // Lookup probes the array for the translation of va in context ctx,
 // trying every supported page size. It returns the matching entry.
+//
+// This is the hottest function in the simulator — every memory reference
+// probes three L1 arrays through it — so the findWay scan is repeated
+// inline here: the compiler does not inline functions with loops, and an
+// outlined call per size costs more than the whole scan of a 4-way set,
+// which touches at most two cache lines of packed keys.
 func (t *TLB) Lookup(ctx vm.ContextID, va vm.VirtAddr) (Entry, bool) {
 	t.stats.Lookups++
 	t.tick++
 	for _, size := range t.sizes {
 		vpn := va.VPN(size)
-		meta := metaFor(ctx, size)
-		set := t.set(vpn)
-		for i := range set {
-			e := &set[i]
-			if e.meta == meta && e.VPN == vpn {
+		key := keyValid | uint64(size)<<keySizeLsb | uint64(ctx)<<keyCtxLsb | vpn
+		base := int(t.setFor(vpn)) * t.ways
+		keys := t.keys[base : base+t.ways]
+		for w := 0; w < len(keys); w++ {
+			if keys[w] == key {
+				e := &t.entries[base+w]
 				e.lru = t.tick
 				t.stats.Hits++
 				return *e, true
@@ -176,15 +222,8 @@ func (t *TLB) Lookup(ctx vm.ContextID, va vm.VirtAddr) (Entry, bool) {
 // Probe reports whether the translation is present without touching LRU
 // state or counting statistics (used by invariants and shootdown checks).
 func (t *TLB) Probe(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
-	set := t.set(vpn)
-	meta := metaFor(ctx, size)
-	for i := range set {
-		e := &set[i]
-		if e.meta == meta && e.VPN == vpn {
-			return true
-		}
-	}
-	return false
+	base := int(t.setFor(vpn)) * t.ways
+	return t.findWay(base, keyFor(ctx, size, vpn)) >= 0
 }
 
 // Insert installs a translation, replacing the set's LRU entry when full.
@@ -195,18 +234,21 @@ func (t *TLB) Probe(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
 func (t *TLB) Insert(ctx vm.ContextID, vpn uint64, size vm.PageSize, pfn uint64) bool {
 	t.stats.Inserts++
 	t.tick++
-	set := t.set(vpn)
-	meta := metaFor(ctx, size)
+	base := int(t.setFor(vpn)) * t.ways
+	set := t.entries[base : base+t.ways]
+	key := keyFor(ctx, size, vpn)
+	keys := t.keys[base : base+t.ways]
 	victim := 0
 	ctxWays := 0
 	ownLRU := -1
 	for i := range set {
-		e := &set[i]
-		if e.meta == meta && e.VPN == vpn {
+		if keys[i] == key {
+			e := &set[i]
 			e.PFN = pfn
 			e.lru = t.tick
 			return false
 		}
+		e := &set[i]
 		if !e.Valid {
 			victim = i
 			// Keep scanning: the entry might exist in a later way.
@@ -230,25 +272,23 @@ func (t *TLB) Insert(ctx vm.ContextID, vpn uint64, size vm.PageSize, pfn uint64)
 	if evicted {
 		t.stats.Evictions++
 	}
-	set[victim] = Entry{Valid: true, Ctx: ctx, VPN: vpn, Size: size, PFN: pfn, lru: t.tick, meta: meta}
+	set[victim] = Entry{Valid: true, Ctx: ctx, VPN: vpn, Size: size, PFN: pfn, lru: t.tick}
+	t.keys[base+victim] = key
 	return evicted
 }
 
 // InvalidatePage removes the translation of (ctx, vpn, size) if present,
 // reporting whether an entry was invalidated.
 func (t *TLB) InvalidatePage(ctx vm.ContextID, vpn uint64, size vm.PageSize) bool {
-	set := t.set(vpn)
-	meta := metaFor(ctx, size)
-	for i := range set {
-		e := &set[i]
-		if e.meta == meta && e.VPN == vpn {
-			e.Valid = false
-			e.meta = 0
-			t.stats.Invalidated++
-			return true
-		}
+	base := int(t.setFor(vpn)) * t.ways
+	w := t.findWay(base, keyFor(ctx, size, vpn))
+	if w < 0 {
+		return false
 	}
-	return false
+	t.entries[base+w].Valid = false
+	t.keys[base+w] = 0
+	t.stats.Invalidated++
+	return true
 }
 
 // InvalidateContext removes every translation belonging to ctx, returning
@@ -259,7 +299,7 @@ func (t *TLB) InvalidateContext(ctx vm.ContextID) int {
 		e := &t.entries[i]
 		if e.Valid && e.Ctx == ctx {
 			e.Valid = false
-			e.meta = 0
+			t.keys[i] = 0
 			n++
 		}
 	}
@@ -276,6 +316,7 @@ func (t *TLB) Flush() int {
 		}
 		t.entries[i] = Entry{}
 	}
+	clear(t.keys)
 	t.stats.Invalidated += uint64(n)
 	return n
 }
@@ -290,6 +331,48 @@ func (t *TLB) Apply(inv vm.Invalidation) int {
 		return 1
 	}
 	return 0
+}
+
+// ResetStats zeroes the event counters, so a measurement window that
+// begins mid-run (after a warmup) counts only its own events. Array
+// contents and LRU state are untouched.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Snapshot is a deep copy of a TLB's warm state: the entry array, the
+// packed key mirror, and the LRU tick. Statistics are deliberately
+// excluded — a snapshot is taken at a measurement boundary where they
+// have just been reset. The layout is versioned by
+// system.CheckpointVersion.
+type Snapshot struct {
+	Entries []Entry
+	Keys    []uint64
+	Tick    uint64
+}
+
+// Snapshot deep-copies the array's warm state.
+func (t *TLB) Snapshot() Snapshot {
+	s := Snapshot{
+		Entries: make([]Entry, len(t.entries)),
+		Keys:    make([]uint64, len(t.keys)),
+		Tick:    t.tick,
+	}
+	copy(s.Entries, t.entries)
+	copy(s.Keys, t.keys)
+	return s
+}
+
+// RestoreSnapshot copies a snapshot's state into this array. The snapshot
+// is not aliased, so one snapshot can seed many arrays concurrently. It
+// errors if the geometries disagree.
+func (t *TLB) RestoreSnapshot(s Snapshot) error {
+	if len(s.Entries) != len(t.entries) || len(s.Keys) != len(t.keys) {
+		return fmt.Errorf("tlb: snapshot geometry %d/%d entries/keys does not match array %d/%d",
+			len(s.Entries), len(s.Keys), len(t.entries), len(t.keys))
+	}
+	copy(t.entries, s.Entries)
+	copy(t.keys, s.Keys)
+	t.tick = s.Tick
+	return nil
 }
 
 // Occupancy reports the number of valid entries.

@@ -42,26 +42,113 @@ func (e pte) pfn() uint64   { return uint64(e) >> ptePFNShift }
 
 func makeLeafPTE(pfn uint64) pte { return pte(pfn<<ptePFNShift) | ptePresent | pteLeaf }
 
-// ptNode is one page of a page table. Children are allocated lazily:
-// leaf-level PT pages never allocate the pointer array.
+// ptNode is one page of a page table, stored adaptively. Scatter-heavy
+// workloads materialize hundreds of thousands of leaf PT pages holding
+// only a handful of present entries each; a full 512-entry array per
+// node made page tables the dominant allocation in the whole simulator
+// (gigabytes per sweep, most of it zeroes). A node therefore starts as
+// a small inline (slot, pte) array and upgrades to the full array only
+// once it holds more than sparseMax entries — dense interior nodes and
+// genuinely hot leaf pages upgrade, the long sparse tail stays at ~128
+// bytes. The sparse arrays store only present (non-zero) PTEs, in no
+// particular slot order.
+//
+// Children are identified by arena index rather than pointer, and the
+// index array is allocated lazily (leaf PT pages never need one). Index
+// 0 is the root, which is never anyone's child, so 0 doubles as "no
+// child".
 type ptNode struct {
-	frame    uint64 // physical frame holding this table page
-	entries  [ptFanout]pte
-	children []*ptNode // nil until the first child is linked
+	frame    uint64          // physical frame holding this table page
+	full     *[ptFanout]pte  // nil while the node is sparse
+	children []int32         // nil until the first child is linked; 0 = none
+	n        uint16          // sparse entries in use (full == nil)
+	sidx     [sparseMax]uint16
+	sval     [sparseMax]pte
 }
 
-// child returns the child node at idx, or nil.
-func (n *ptNode) child(idx int) *ptNode {
+// sparseMax is the inline-entry capacity before a node upgrades to a
+// full array. Eight covers cold-run and prefetch clusters on one cache
+// line of slot indices.
+const sparseMax = 8
+
+// get returns the PTE at slot idx, or 0 when absent.
+func (n *ptNode) get(idx int) pte {
+	if n.full != nil {
+		return n.full[idx]
+	}
+	for i := 0; i < int(n.n); i++ {
+		if n.sidx[i] == uint16(idx) {
+			return n.sval[i]
+		}
+	}
+	return 0
+}
+
+// set stores e at slot idx. Storing 0 removes the entry. Every non-zero
+// pte has the present bit set, so the sparse form never stores zeroes.
+func (n *ptNode) set(idx int, e pte) {
+	if n.full != nil {
+		n.full[idx] = e
+		return
+	}
+	for i := 0; i < int(n.n); i++ {
+		if n.sidx[i] == uint16(idx) {
+			if e == 0 {
+				last := n.n - 1
+				n.sidx[i], n.sval[i] = n.sidx[last], n.sval[last]
+				n.sidx[last], n.sval[last] = 0, 0
+				n.n = last
+			} else {
+				n.sval[i] = e
+			}
+			return
+		}
+	}
+	if e == 0 {
+		return
+	}
+	if n.n < sparseMax {
+		n.sidx[n.n] = uint16(idx)
+		n.sval[n.n] = e
+		n.n++
+		return
+	}
+	full := new([ptFanout]pte)
+	for i := 0; i < int(n.n); i++ {
+		full[n.sidx[i]] = n.sval[i]
+	}
+	full[idx] = e
+	n.full = full
+	n.n = 0
+	n.sidx = [sparseMax]uint16{}
+	n.sval = [sparseMax]pte{}
+}
+
+// empty reports whether the node holds no present entries.
+func (n *ptNode) empty() bool {
+	if n.full == nil {
+		return n.n == 0
+	}
+	for i := range n.full {
+		if n.full[i].present() {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the arena index of the child at idx, or 0.
+func (n *ptNode) child(idx int) int32 {
 	if n.children == nil {
-		return nil
+		return 0
 	}
 	return n.children[idx]
 }
 
 // setChild links a child node at idx.
-func (n *ptNode) setChild(idx int, c *ptNode) {
+func (n *ptNode) setChild(idx int, c int32) {
 	if n.children == nil {
-		n.children = make([]*ptNode, ptFanout)
+		n.children = make([]int32, ptFanout)
 	}
 	n.children[idx] = c
 }
@@ -113,12 +200,36 @@ type WalkResult struct {
 	PTEAddrs [ptLevels]PhysAddr
 }
 
-// PageTable is a 4-level x86-64-style page table.
+// Arena chunking: nodes are stored in fixed-capacity chunks so growing
+// the arena never copies existing nodes (a flat append-doubled slice
+// re-copies ~2x the final arena — hundreds of megabytes per run — and
+// was measurably slower than per-node allocation). Chunks also keep node
+// addresses stable, so traversals may hold *ptNode across addNode.
+const (
+	ptChunkShift = 10 // 1024 nodes (~128 KiB) per chunk
+	ptChunkSize  = 1 << ptChunkShift
+	ptChunkMask  = ptChunkSize - 1
+)
+
+// PageTable is a 4-level x86-64-style page table. All nodes live in a
+// chunked arena; node 0 is the root (PML4).
 type PageTable struct {
-	root  *ptNode
-	alloc *FrameAlloc
+	chunks [][]ptNode
+	count  int32
+	alloc  *FrameAlloc
 	// mapped counts leaf mappings by size, for accounting.
 	mapped [3]uint64
+
+	// One-entry walk cache: the PD node covering the last walked 1G
+	// region, plus the two upper-level PTE addresses a walk through it
+	// reports. Walks within the same region resume at the PD level.
+	// Purely an accelerator — cached walks return byte-identical
+	// WalkResults — so any mutation just invalidates it. Node addresses
+	// are stable across addNode, making the held pointer safe.
+	wcValid  bool
+	wcPrefix uint64 // va >> 30
+	wcNode   *ptNode
+	wcAddrs  [2]PhysAddr
 }
 
 // NewPageTable returns an empty table drawing table pages from alloc.
@@ -126,10 +237,58 @@ func NewPageTable(alloc *FrameAlloc) *PageTable {
 	if alloc == nil {
 		alloc = NewFrameAlloc(1)
 	}
-	return &PageTable{
-		root:  &ptNode{frame: alloc.Alloc()},
-		alloc: alloc,
+	pt := &PageTable{alloc: alloc}
+	pt.addNode() // index 0: the root
+	return pt
+}
+
+// node returns the arena node at index i. The address is stable for the
+// life of the table.
+func (pt *PageTable) node(i int32) *ptNode {
+	return &pt.chunks[i>>ptChunkShift][i&ptChunkMask]
+}
+
+// addNode appends a fresh table page to the arena and returns its index.
+func (pt *PageTable) addNode() int32 {
+	i := pt.count
+	if int(i>>ptChunkShift) == len(pt.chunks) {
+		pt.chunks = append(pt.chunks, make([]ptNode, 0, ptChunkSize))
 	}
+	ck := &pt.chunks[len(pt.chunks)-1]
+	*ck = append(*ck, ptNode{frame: pt.alloc.Alloc()})
+	pt.count++
+	return i
+}
+
+// Clone deep-copies the table into a new arena drawing future table
+// pages from alloc (pass the clone of the original allocator to keep
+// frame numbering deterministic). Entry arrays are copied wholesale;
+// child index arrays are the only per-node allocation beyond the chunks.
+func (pt *PageTable) Clone(alloc *FrameAlloc) *PageTable {
+	c := &PageTable{
+		chunks: make([][]ptNode, len(pt.chunks)),
+		count:  pt.count,
+		alloc:  alloc,
+		mapped: pt.mapped,
+	}
+	for ci, ck := range pt.chunks {
+		nck := make([]ptNode, len(ck), ptChunkSize)
+		copy(nck, ck)
+		for i := range nck {
+			if ch := nck[i].children; ch != nil {
+				nck[i].children = append([]int32(nil), ch...)
+			}
+			if f := nck[i].full; f != nil {
+				nf := new([ptFanout]pte)
+				*nf = *f
+				nck[i].full = nf
+			}
+		}
+		c.chunks[ci] = nck
+	}
+	// The walk cache is deliberately not cloned: wcNode points into the
+	// source arena. The clone starts cold and re-warms on first walk.
+	return c
 }
 
 // leafLevel returns the radix level at which a page of size s terminates.
@@ -156,22 +315,25 @@ func (pt *PageTable) Map(va VirtAddr, pa PhysAddr, s PageSize) error {
 		return fmt.Errorf("vm: Map: pa %#x not %s-aligned", uint64(pa), s)
 	}
 	target := leafLevel(s)
-	n := pt.root
+	pt.wcValid = false
+	n := pt.node(0)
 	for level := ptLevels - 1; level > target; level-- {
 		idx := levelIndex(va, level)
-		e := &n.entries[idx]
+		e := n.get(idx)
 		if e.present() && e.leaf() {
 			return fmt.Errorf("vm: Map: va %#x covered by existing %s leaf at level %d",
 				uint64(va), leafSizeAtLevel(level), level)
 		}
-		if n.child(idx) == nil {
-			n.setChild(idx, &ptNode{frame: pt.alloc.Alloc()})
-			*e = ptePresent
+		ci := n.child(idx)
+		if ci == 0 {
+			ci = pt.addNode()
+			n.setChild(idx, ci)
+			n.set(idx, ptePresent)
 		}
-		n = n.child(idx)
+		n = pt.node(ci)
 	}
 	idx := levelIndex(va, target)
-	e := &n.entries[idx]
+	e := n.get(idx)
 	if e.present() && !e.leaf() {
 		return fmt.Errorf("vm: Map: va %#x: %s leaf would overwrite a page-table subtree",
 			uint64(va), s)
@@ -179,7 +341,7 @@ func (pt *PageTable) Map(va VirtAddr, pa PhysAddr, s PageSize) error {
 	if !e.present() {
 		pt.mapped[s]++
 	}
-	*e = makeLeafPTE(uint64(pa) >> s.Shift())
+	n.set(idx, makeLeafPTE(uint64(pa)>>s.Shift()))
 	return nil
 }
 
@@ -200,20 +362,22 @@ func leafSizeAtLevel(level int) PageSize {
 // whether a mapping was removed.
 func (pt *PageTable) Unmap(va VirtAddr, s PageSize) bool {
 	target := leafLevel(s)
-	n := pt.root
+	pt.wcValid = false
+	n := pt.node(0)
 	for level := ptLevels - 1; level > target; level-- {
 		idx := levelIndex(va, level)
-		if n.child(idx) == nil {
+		ci := n.child(idx)
+		if ci == 0 {
 			return false
 		}
-		n = n.child(idx)
+		n = pt.node(ci)
 	}
 	idx := levelIndex(va, target)
-	e := &n.entries[idx]
+	e := n.get(idx)
 	if !e.present() || !e.leaf() {
 		return false
 	}
-	*e = 0
+	n.set(idx, 0)
 	pt.mapped[s]--
 	return true
 }
@@ -222,10 +386,23 @@ func (pt *PageTable) Unmap(va VirtAddr, s PageSize) bool {
 // mapping covers va (a page fault in a real system).
 func (pt *PageTable) Walk(va VirtAddr) (WalkResult, bool) {
 	var res WalkResult
-	n := pt.root
-	for level := ptLevels - 1; level >= 0; level-- {
+	var n *ptNode
+	startLevel := ptLevels - 1
+	if pt.wcValid && uint64(va)>>30 == pt.wcPrefix {
+		// Same 1G region as the last walk: the PML4 and PDPT steps
+		// repeat verbatim, so replay their recorded PTE addresses and
+		// resume the descent at the cached PD node.
+		res.PTEAddrs[0] = pt.wcAddrs[0]
+		res.PTEAddrs[1] = pt.wcAddrs[1]
+		res.Levels = 2
+		n = pt.wcNode
+		startLevel = 1
+	} else {
+		n = pt.node(0)
+	}
+	for level := startLevel; level >= 0; level-- {
 		idx := levelIndex(va, level)
-		e := n.entries[idx]
+		e := n.get(idx)
 		res.PTEAddrs[res.Levels] = PhysAddr(n.frame*FrameSize + uint64(idx)*pteBytes)
 		res.Levels++
 		if !e.present() {
@@ -237,7 +414,14 @@ func (pt *PageTable) Walk(va VirtAddr) (WalkResult, bool) {
 			res.PA = PhysAddr(e.pfn()<<size.Shift() | uint64(va.Offset(size)))
 			return res, true
 		}
-		n = n.child(idx)
+		n = pt.node(n.child(idx))
+		if level == 2 {
+			pt.wcValid = true
+			pt.wcPrefix = uint64(va) >> 30
+			pt.wcNode = n
+			pt.wcAddrs[0] = res.PTEAddrs[0]
+			pt.wcAddrs[1] = res.PTEAddrs[1]
+		}
 	}
 	return res, false
 }
@@ -256,26 +440,30 @@ func (pt *PageTable) Translate(va VirtAddr) (PhysAddr, PageSize, bool) {
 // be installed there. It reports whether a table page was removed. This is
 // what an OS does when collapsing base pages into a superpage.
 func (pt *PageTable) DropEmptyPT(va VirtAddr) bool {
-	n := pt.root
+	pt.wcValid = false
+	n := pt.node(0)
 	for level := ptLevels - 1; level > 1; level-- {
 		idx := levelIndex(va, level)
-		if n.child(idx) == nil {
+		ci := n.child(idx)
+		if ci == 0 {
 			return false
 		}
-		n = n.child(idx)
+		n = pt.node(ci)
 	}
 	idx := levelIndex(va, 1)
-	child := n.child(idx)
-	if child == nil {
+	ci := n.child(idx)
+	if ci == 0 {
 		return false
 	}
-	for i := range child.entries {
-		if child.entries[i].present() {
-			return false
-		}
+	child := pt.node(ci)
+	if !child.empty() {
+		return false
 	}
-	n.setChild(idx, nil)
-	n.entries[idx] = 0
+	// The dropped node stays in the arena, unreferenced; arenas only
+	// grow within a run and promotions are bounded, so the leak is
+	// negligible and keeps every other node index stable.
+	n.setChild(idx, 0)
+	n.set(idx, 0)
 	return true
 }
 

@@ -10,4 +10,17 @@ type Stream interface {
 	Next() vm.VirtAddr
 }
 
-var _ Stream = (*Generator)(nil)
+// BatchStream is a Stream that can also fill a whole slice of references
+// in one call, letting the consumer's hot loop reduce to a buffer index
+// bump. NextBatch must produce exactly the addresses len(buf) calls to
+// Next would have. The simulator type-asserts for this at setup and falls
+// back to per-reference Next for plain Streams.
+type BatchStream interface {
+	Stream
+	NextBatch(buf []vm.VirtAddr)
+}
+
+var (
+	_ Stream      = (*Generator)(nil)
+	_ BatchStream = (*Generator)(nil)
+)

@@ -230,6 +230,9 @@ func (s Spec) split(threads int) (shared, private uint64) {
 	return shared, private
 }
 
+// page4KBytes hoists vm.Page4K.Bytes() out of the per-reference path.
+const page4KBytes = 4096
+
 // recentRing remembers the last touched pages for temporal reuse.
 const recentRingSize = 12
 
@@ -259,6 +262,10 @@ type Generator struct {
 	runStride uint64
 
 	zipfExp float64
+
+	// Precomputed engine.Threshold values of the spec's probabilities:
+	// the hot path decides with one integer compare per draw.
+	repeatT, sharedT, hotT, halfT uint64
 }
 
 // coldRunLen is the length of a cold sequential scan burst.
@@ -279,6 +286,10 @@ func NewGenerator(spec Spec, threads, thread int, rng *engine.Rand) *Generator {
 		sharedStride: scatterStride(shared * SpreadFactor / LineCluster),
 		privStride:   scatterStride(private * SpreadFactor / LineCluster),
 		zipfExp:      1 / (1 - clampTheta(spec.ZipfTheta)),
+		repeatT:      engine.Threshold(spec.RepeatProb),
+		sharedT:      engine.Threshold(spec.SharedFrac),
+		hotT:         engine.Threshold(spec.HotProb),
+		halfT:        engine.Threshold(0.5),
 	}
 }
 
@@ -294,11 +305,11 @@ func clampTheta(t float64) float64 {
 
 // zipfRank draws a rank in [0, n) with Zipf-like skew: the inverse-CDF
 // approximation P(X <= x) ~ (x/n)^(1-theta).
-func (g *Generator) zipfRank(n uint64) uint64 {
+func (g *Generator) zipfRank(rng *engine.Rand, n uint64) uint64 {
 	if n <= 1 {
 		return 0
 	}
-	r := uint64(float64(n) * math.Pow(g.rng.Float64(), g.zipfExp))
+	r := uint64(float64(n) * math.Pow(rng.Float64(), g.zipfExp))
 	if r >= n {
 		r = n - 1
 	}
@@ -307,16 +318,16 @@ func (g *Generator) zipfRank(n uint64) uint64 {
 
 // regionPick draws a page within a region of n pages using the hot/cold
 // two-level model, scattering the chosen rank across the sparse span.
-func (g *Generator) regionPick(base vm.VirtAddr, n, stride uint64) vm.VirtAddr {
+func (g *Generator) regionPick(rng *engine.Rand, base vm.VirtAddr, n, stride uint64) vm.VirtAddr {
 	hot := uint64(float64(n) * g.spec.HotFrac)
 	if hot < 1 {
 		hot = 1
 	}
 	var page uint64
-	if g.rng.Float64() < g.spec.HotProb || hot >= n {
-		page = g.zipfRank(hot)
+	if rng.Below(g.hotT) || hot >= n {
+		page = g.zipfRank(rng, hot)
 	} else {
-		page = hot + g.rng.Uint64n(n-hot)
+		page = hot + rng.Uint64n(n-hot)
 		// Begin a sequential scan over the following ranks.
 		g.runLeft = coldRunLen - 1
 		g.runRank = page
@@ -334,17 +345,20 @@ func slotFor(page, n, stride uint64) uint64 {
 	return page/LineCluster*stride%groups*LineCluster + page%LineCluster
 }
 
-// Next returns the next virtual address of this thread's stream.
-func (g *Generator) Next() vm.VirtAddr {
-	if g.ringN > 0 && g.rng.Float64() < g.spec.RepeatProb {
+// next draws one address using rng, which is either the generator's own
+// stream (scalar Next) or a stack-local copy of it (NextBatch). Single
+// body for both paths so they cannot diverge: every rng draw happens in
+// the same order with the same bounds.
+func (g *Generator) next(rng *engine.Rand) vm.VirtAddr {
+	if g.ringN > 0 && rng.Below(g.repeatT) {
 		// Reuse a recent page, geometrically favouring the most recent.
 		idx := 0
-		for idx < g.ringN-1 && g.rng.Float64() < 0.5 {
+		for idx < g.ringN-1 && rng.Below(g.halfT) {
 			idx++
 		}
 		pos := (g.ringW - 1 - idx + recentRingSize) % recentRingSize
 		va := g.ring[pos]
-		return va + vm.VirtAddr(g.rng.Uint64n(vm.Page4K.Bytes())&^7)
+		return va + vm.VirtAddr(rng.Uint64n(page4KBytes)&^7)
 	}
 
 	var va vm.VirtAddr
@@ -352,17 +366,77 @@ func (g *Generator) Next() vm.VirtAddr {
 		g.runLeft--
 		g.runRank = (g.runRank + 1) % g.runPages
 		va = g.runBase + vm.VirtAddr(slotFor(g.runRank, g.runPages, g.runStride)*vm.Page4K.Bytes())
-	} else if g.rng.Float64() < g.spec.SharedFrac {
-		va = g.regionPick(sharedBase, g.shared, g.sharedStride)
+	} else if rng.Below(g.sharedT) {
+		va = g.regionPick(rng, sharedBase, g.shared, g.sharedStride)
 	} else {
-		va = g.regionPick(g.privBas, g.private, g.privStride)
+		va = g.regionPick(rng, g.privBas, g.private, g.privStride)
 	}
 	g.ring[g.ringW] = va
 	g.ringW = (g.ringW + 1) % recentRingSize
 	if g.ringN < recentRingSize {
 		g.ringN++
 	}
-	return va + vm.VirtAddr(g.rng.Uint64n(vm.Page4K.Bytes())&^7)
+	return va + vm.VirtAddr(rng.Uint64n(page4KBytes)&^7)
+}
+
+// Next returns the next virtual address of this thread's stream.
+func (g *Generator) Next() vm.VirtAddr { return g.next(g.rng) }
+
+// NextBatch fills buf with the next len(buf) addresses of the stream. It
+// produces exactly the sequence len(buf) calls to Next would: the only
+// difference is that the RNG state lives in a stack local for the whole
+// batch instead of being loaded and stored per reference.
+func (g *Generator) NextBatch(buf []vm.VirtAddr) {
+	rng := *g.rng
+	for i := range buf {
+		buf[i] = g.next(&rng)
+	}
+	*g.rng = rng
+}
+
+// State is the checkpointable portion of a Generator: the RNG stream plus
+// the reuse-ring and sequential-run registers. Everything else in the
+// Generator is derived from (Spec, threads, thread) at construction and
+// is re-derived on restore. The layout is versioned by
+// system.CheckpointVersion.
+type State struct {
+	Rng       uint64
+	Ring      [recentRingSize]vm.VirtAddr
+	RingN     int
+	RingW     int
+	RunLeft   int
+	RunRank   uint64
+	RunBase   vm.VirtAddr
+	RunPages  uint64
+	RunStride uint64
+}
+
+// State snapshots the generator's mutable state.
+func (g *Generator) State() State {
+	return State{
+		Rng:       g.rng.State(),
+		Ring:      g.ring,
+		RingN:     g.ringN,
+		RingW:     g.ringW,
+		RunLeft:   g.runLeft,
+		RunRank:   g.runRank,
+		RunBase:   g.runBase,
+		RunPages:  g.runPages,
+		RunStride: g.runStride,
+	}
+}
+
+// SetState restores a snapshot taken by State.
+func (g *Generator) SetState(st State) {
+	g.rng.SetState(st.Rng)
+	g.ring = st.Ring
+	g.ringN = st.RingN
+	g.ringW = st.RingW
+	g.runLeft = st.RunLeft
+	g.runRank = st.RunRank
+	g.runBase = st.RunBase
+	g.runPages = st.RunPages
+	g.runStride = st.RunStride
 }
 
 // Spec returns the generator's workload spec.

@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all help build fmt vet staticcheck test race bench bench-engine bench-json bench-json-smoke bench-compare alloc check fuzz smoke serve-smoke profile ci clean
+.PHONY: all help build fmt vet staticcheck test race bench bench-engine bench-json bench-json-smoke bench-compare alloc check fuzz smoke serve-smoke sharded profile ci clean
 
 all: build vet test
 
@@ -18,8 +18,9 @@ help:
 	@echo "  fuzz         open-ended randomized checking (grows fuzz corpora)"
 	@echo "  smoke        end-to-end report-pipeline smoke run"
 	@echo "  serve-smoke  HTTP service smoke: submit/poll/cache over a loopback listener"
+	@echo "  sharded      partitioned-engine determinism gate: K-identity, golden event order, report matrix, -race storm"
 	@echo "  profile      CPU/heap profiles of the Table III sweep"
-	@echo "  ci           build fmt vet staticcheck race bench bench-json-smoke alloc check smoke serve-smoke"
+	@echo "  ci           build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke"
 
 build:
 	$(GO) build ./...
@@ -54,6 +55,7 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig16Left$$|BenchmarkFig11c$$' -benchtime 1x -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkScheduleRun' -benchtime 1s -benchmem ./internal/engine/
+	$(GO) test -run xxx -bench 'BenchmarkSharded$$' -benchtime 1x -benchmem ./internal/system/
 
 bench-engine:
 	$(GO) test -run xxx -bench . -benchtime 2s -benchmem ./internal/engine/
@@ -68,6 +70,8 @@ BENCH_OUT ?= BENCH_$(shell date +%Y%m%d).json
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkTable3$$' -benchtime $(BENCHTIME) -benchmem . \
 		| tee $(BENCH_OUT:.json=.txt)
+	$(GO) test -run xxx -bench 'BenchmarkSharded$$' -benchtime $(BENCHTIME) -benchmem ./internal/system/ \
+		| tee -a $(BENCH_OUT:.json=.txt)
 	$(GO) run ./cmd/nocstar-bench -in $(BENCH_OUT:.json=.txt) -out $(BENCH_OUT)
 
 # Cheap ci gate for the recording pipeline: parse a fast real benchmark
@@ -121,6 +125,15 @@ smoke:
 serve-smoke:
 	$(GO) run ./cmd/nocstar-serve -selftest
 
+# The partitioned-engine determinism gate: Result identity and per-region
+# golden event order across shard counts, the end-to-end report matrix
+# (-shards x -j byte identity through the nocstar-exp binary), and a short
+# multi-worker shootdown storm under the race detector.
+sharded:
+	$(GO) test -count 1 -run 'TestShardedSystemIdentity|TestShardedGoldenEventOrder|TestShardedFallback|TestShardedRegionAllocFree' ./internal/system/
+	$(GO) test -count 1 -run 'TestReportShardMatrix' ./cmd/nocstar-exp/
+	$(GO) test -race -count 1 -run 'TestShardedStormContention' ./internal/system/
+
 # CPU and heap profiles of the heavyweight Table III sweep, written to
 # ./profiles/ for `go tool pprof` (see EXPERIMENTS.md "Allocation-free
 # critical path" for the recorded baselines).
@@ -131,7 +144,7 @@ profile:
 		-o profiles/nocstar.test .
 	@echo "inspect with: go tool pprof -top profiles/nocstar.test profiles/cpu.out"
 
-ci: build fmt vet staticcheck race bench bench-json-smoke alloc check smoke serve-smoke
+ci: build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -47,6 +47,8 @@ type Record struct {
 	Date       string      `json:"date"`
 	GitSHA     string      `json:"git_sha"`
 	GoVersion  string      `json:"go_version"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Shards     int         `json:"shards,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -67,6 +69,7 @@ func main() {
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		in        = flag.String("in", "", "parse this bench-output file instead of running go test (- for stdin)")
 		out       = flag.String("out", "", "output JSON path (default BENCH_<yyyymmdd>.json; - for stdout)")
+		shards    = flag.Int("shards", 0, "intra-run shard count recorded in the output metadata (the benchmark itself reads NOCSTAR_SHARDS)")
 	)
 	flag.Parse()
 
@@ -94,6 +97,8 @@ func main() {
 		Date:       time.Now().Format("2006-01-02"),
 		GitSHA:     gitSHA(),
 		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     *shards,
 		Benchmarks: benches,
 	}
 	doc, err := json.MarshalIndent(rec, "", "  ")
@@ -186,15 +191,19 @@ func stripProcs(name string) string {
 	return name
 }
 
-// gitSHA reports HEAD's commit, "-dirty" suffixed when the work tree has
-// modifications, or "unknown" outside a repository.
+// gitSHA reports HEAD's commit, "-dirty" suffixed when tracked files are
+// modified relative to HEAD, or "unknown" outside a repository. Untracked
+// files (benchmark outputs, profiles, scratch notes) do not affect the
+// provenance of the built code, so `git status --porcelain` — which
+// flags them — would mark clean builds dirty; diff-index inspects only
+// what HEAD tracks.
 func gitSHA() string {
 	sha, err := exec.Command("git", "rev-parse", "HEAD").Output()
 	if err != nil {
 		return "unknown"
 	}
 	out := strings.TrimSpace(string(sha))
-	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+	if status, err := exec.Command("git", "diff-index", "--name-only", "HEAD", "--").Output(); err == nil &&
 		len(bytes.TrimSpace(status)) > 0 {
 		out += "-dirty"
 	}

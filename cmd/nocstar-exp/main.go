@@ -39,6 +39,7 @@ func main() {
 		report     = flag.String("report", "", "write a schema-versioned JSON run report to this file")
 		trace      = flag.String("trace", "", "write a Chrome trace_event JSON of one representative run to this file (view in chrome://tracing or ui.perfetto.dev)")
 		parallel   = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS); output is byte-identical at any setting")
+		shards     = flag.Int("shards", 0, "worker goroutines inside each shardable run (Private/DistributedMesh orgs; 0 = legacy single-engine); results are byte-identical at any positive setting, and -j defaults to GOMAXPROCS/shards")
 		quiet      = flag.Bool("quiet", false, "suppress the progress line on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (use -j 1 for a single-simulation view)")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
@@ -63,7 +64,8 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Instr: *instr, Seed: *seed, Combos: *combos, Parallelism: *parallel}
+	opts := experiments.Options{Instr: *instr, Seed: *seed, Combos: *combos,
+		Parallelism: *parallel, Shards: *shards}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}

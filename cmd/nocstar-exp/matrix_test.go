@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestReportShardMatrix is the end-to-end determinism gate for the
+// partitioned parallel engine: the same invocation at every combination
+// of intra-run shard count (-shards) and sweep parallelism (-j) must
+// write a byte-identical -report JSON. The default matrix covers the
+// corner cells; set NOCSTAR_FULL_MATRIX=1 for the full
+// shards{1,2,4} x j{1,4} sweep.
+//
+// The experiment is chosen to exercise both engines at once: fig12 runs
+// Private and DistributedMesh configs (partitioned engine) next to
+// monolithic and NOCSTAR configs (legacy engine fallback) and divides by
+// the memoized private baseline.
+func TestReportShardMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the nocstar-exp binary")
+	}
+	bin := filepath.Join(t.TempDir(), "nocstar-exp")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	type cell struct{ shards, j int }
+	cells := []cell{{1, 1}, {2, 4}, {4, 1}}
+	if os.Getenv("NOCSTAR_FULL_MATRIX") != "" {
+		cells = []cell{{1, 1}, {1, 4}, {2, 1}, {2, 4}, {4, 1}, {4, 4}}
+	}
+
+	var golden []byte
+	for _, c := range cells {
+		report := filepath.Join(t.TempDir(), "report.json")
+		cmd := exec.Command(bin,
+			"-instr", "2000",
+			"-workloads", "gups",
+			"-shards", strconv.Itoa(c.shards),
+			"-j", strconv.Itoa(c.j),
+			"-quiet",
+			"-report", report,
+			"fig12")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("shards=%d j=%d: %v\n%s", c.shards, c.j, err, out)
+		}
+		got, err := os.ReadFile(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = got
+			continue
+		}
+		if !bytes.Equal(golden, got) {
+			t.Fatalf("shards=%d j=%d report diverges from shards=%d j=%d (%d vs %d bytes)",
+				c.shards, c.j, cells[0].shards, cells[0].j, len(got), len(golden))
+		}
+	}
+	if len(golden) == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -47,6 +47,7 @@ func main() {
 		queue    = flag.Int("queue", 64, "bounded submission queue depth (full queue returns 429)")
 		cache    = flag.Int("cache", 128, "LRU result-cache entries, keyed on canonical config hash")
 		maxRun   = flag.Duration("max-run", 0, "wall-clock cap on every run; 0 means uncapped")
+		shards   = flag.Int("shards", 0, "worker goroutines inside each shardable run (0 = legacy single-engine)")
 		drain    = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget for in-flight runs")
 		selftest = flag.Bool("selftest", false, "run an end-to-end smoke against a loopback listener and exit")
 	)
@@ -57,6 +58,7 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		MaxRunDuration: *maxRun,
+		Shards:         *shards,
 	})
 
 	if *selftest {

@@ -1,0 +1,497 @@
+// Sharded execution: many region engines advanced in parallel under a
+// conservative lookahead window.
+//
+// The simulated machine is partitioned into R regions, each with its own
+// Engine (its own timing wheel, clock, and sequence counter). K worker
+// goroutines own contiguous region ranges and advance them window by
+// window: within a window [t0, t0+W) regions are fully independent,
+// because every cross-region interaction takes at least W cycles (W is
+// chosen as the minimum cross-region NoC latency — the classical
+// conservative-lookahead bound). Cross-region events are not scheduled
+// directly; they are appended to the sending worker's outbox stamped
+// with (when, srcRegion, srcSeq) and delivered at the next window
+// boundary, merge-sorted on that key. Both the per-region (cycle, seq)
+// event streams and the boundary delivery order are therefore invariant
+// in K: a K-worker run executes byte-identically to a 1-worker run.
+//
+// Events that must observe or mutate state across regions (shootdown
+// broadcasts, warmup boundaries, storm disturbances) are globals: they
+// run in a serial window, executed by the barrier leader while every
+// worker is parked, interleaved deterministically with region events in
+// (cycle, globalSeq) order.
+package engine
+
+import (
+	"runtime"
+	"slices"
+	"sync/atomic"
+)
+
+// shardMsg is one cross-region event in flight between windows.
+type shardMsg struct {
+	when  Cycle
+	src   int    // source region
+	seq   uint64 // per-source-region send sequence (unique with when+src)
+	dst   int
+	fn    func()
+	actor Actor
+	op    uint8
+	arg   any
+}
+
+// shardWorker is one worker goroutine's state. Workers are allocated
+// individually so their hot fields do not share cache lines.
+type shardWorker struct {
+	id     int
+	lo, hi int // owned region range [lo, hi)
+
+	// outbox[p] collects the cross-region sends of the window with
+	// parity p. It is written only by this worker (or by the barrier
+	// leader during a serial window, while everyone is parked), read by
+	// all workers during the following window, and cleared by this
+	// worker one window later — each step separated by a barrier.
+	outbox [2][]shardMsg
+	inbox  []shardMsg // reused merge buffer for boundary deliveries
+
+	// Published immediately before arriving at the barrier; the leader
+	// reads them after observing every arrival.
+	pending int   // events still queued in owned regions
+	outMsgs int   // messages in the current-parity outbox
+	nextMin Cycle // earliest pending cycle among owned regions and outbox
+	nextOk  bool
+}
+
+// global is a coordinator-level event outside any region.
+type global struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+// Sharded coordinates R region engines across K workers.
+type Sharded struct {
+	regions []*Engine
+	owner   []int // region -> owning worker
+	workers []*shardWorker
+	window  Cycle
+	sendSeq []uint64 // per-region cross-region send counters
+
+	globals []global // min-heap on (when, seq)
+	gseq    uint64
+
+	// Window control, written by the barrier leader and read by workers
+	// after the generation bump (which orders the accesses).
+	t0     Cycle
+	curEnd Cycle
+	parity int
+	limit  Cycle
+	err    error
+	done   atomic.Bool
+
+	hook func(t0 Cycle) func() // window hook; see SetWindowHook
+	poll func() error          // cancellation hook, polled by the leader
+
+	// Sense-reversing barrier.
+	arrived atomic.Int32
+	gen     atomic.Uint64
+
+	windows uint64 // windows executed (including serial ones)
+}
+
+// pollStride is how many windows pass between cancellation polls.
+const pollStride = 1024
+
+// NewSharded builds a coordinator over the given region engines with k
+// workers and the given lookahead window. window must be at least 1 and
+// no larger than the minimum cross-region event latency, or Send will
+// panic when the conservative bound is violated. k is clamped to
+// [1, len(regions)].
+func NewSharded(regions []*Engine, k int, window Cycle) *Sharded {
+	r := len(regions)
+	if r == 0 {
+		panic("engine: NewSharded with no regions")
+	}
+	if window < 1 {
+		panic("engine: NewSharded window must be >= 1")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > r {
+		k = r
+	}
+	s := &Sharded{
+		regions: regions,
+		owner:   make([]int, r),
+		workers: make([]*shardWorker, k),
+		window:  window,
+		sendSeq: make([]uint64, r),
+	}
+	// Contiguous ranges, remainder spread over the leading workers.
+	per, rem := r/k, r%k
+	lo := 0
+	for w := 0; w < k; w++ {
+		hi := lo + per
+		if w < rem {
+			hi++
+		}
+		s.workers[w] = &shardWorker{id: w, lo: lo, hi: hi}
+		for i := lo; i < hi; i++ {
+			s.owner[i] = w
+		}
+		lo = hi
+	}
+	return s
+}
+
+// Region returns region engine i.
+func (s *Sharded) Region(i int) *Engine { return s.regions[i] }
+
+// Regions reports the region count.
+func (s *Sharded) Regions() int { return len(s.regions) }
+
+// Workers reports the effective worker count.
+func (s *Sharded) Workers() int { return len(s.workers) }
+
+// Window reports the lookahead window width.
+func (s *Sharded) Window() Cycle { return s.window }
+
+// WindowsRun reports how many windows (parallel and serial) have been
+// executed, for instrumentation.
+func (s *Sharded) WindowsRun() uint64 { return s.windows }
+
+// T0 reports the current window's start cycle. Only stable when read by
+// the barrier leader (poll and window hooks) or after Run returns.
+func (s *Sharded) T0() Cycle { return s.t0 }
+
+// SetPoll installs fn, called by the barrier leader every pollStride
+// windows; a non-nil error stops the run and is returned by Run.
+func (s *Sharded) SetPoll(fn func() error) { s.poll = fn }
+
+// SetWindowHook installs fn, invoked by the barrier leader at every
+// window boundary with the upcoming window's start cycle, while all
+// regions are quiescent. fn must only read state that is stable at a
+// barrier (e.g. atomic counters maintained by region events). To mutate
+// model state it returns a non-nil action: the coordinator schedules it
+// as a global at t0, which serializes that window.
+func (s *Sharded) SetWindowHook(fn func(t0 Cycle) func()) { s.hook = fn }
+
+// ScheduleGlobal schedules fn as a coordinator-level global at the given
+// cycle. Globals run in serial windows, ordered by (when, schedule
+// order), after every region has advanced through their cycle. It may
+// be called before Run, or from within a global or window-hook action;
+// calling it from region event context is a data race.
+func (s *Sharded) ScheduleGlobal(when Cycle, fn func()) {
+	s.gseq++
+	s.globals = append(s.globals, global{when: when, seq: s.gseq, fn: fn})
+	// Sift up (binary min-heap on when, seq).
+	i := len(s.globals) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.globalLess(i, p) {
+			break
+		}
+		s.globals[i], s.globals[p] = s.globals[p], s.globals[i]
+		i = p
+	}
+}
+
+func (s *Sharded) globalLess(a, b int) bool {
+	if s.globals[a].when != s.globals[b].when {
+		return s.globals[a].when < s.globals[b].when
+	}
+	return s.globals[a].seq < s.globals[b].seq
+}
+
+func (s *Sharded) popGlobal() global {
+	top := s.globals[0]
+	n := len(s.globals) - 1
+	s.globals[0] = s.globals[n]
+	s.globals[n] = global{}
+	s.globals = s.globals[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.globalLess(l, min) {
+			min = l
+		}
+		if r < n && s.globalLess(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s.globals[i], s.globals[min] = s.globals[min], s.globals[i]
+		i = min
+	}
+	return top
+}
+
+// Send schedules a cross-region typed event: a.Act(op, arg) runs on
+// region dst at the given cycle. when must be no earlier than the end of
+// the current window — the conservative-lookahead invariant; violating
+// it panics, because the destination region may already have advanced
+// past it. Same-region sends schedule directly. Send must be called from
+// the event context of region src (or from a global).
+func (s *Sharded) Send(src, dst int, when Cycle, a Actor, op uint8, arg any) {
+	if src == dst {
+		s.regions[dst].AtAct(when, a, op, arg)
+		return
+	}
+	if when < s.curEnd {
+		panic("engine: cross-region send inside the lookahead window")
+	}
+	s.sendSeq[src]++
+	w := s.workers[s.owner[src]]
+	w.outbox[s.parity] = append(w.outbox[s.parity], shardMsg{
+		when: when, src: src, seq: s.sendSeq[src], dst: dst,
+		actor: a, op: op, arg: arg,
+	})
+}
+
+// SendFunc is Send for closure events.
+func (s *Sharded) SendFunc(src, dst int, when Cycle, fn func()) {
+	if src == dst {
+		s.regions[dst].At(when, fn)
+		return
+	}
+	if when < s.curEnd {
+		panic("engine: cross-region send inside the lookahead window")
+	}
+	s.sendSeq[src]++
+	w := s.workers[s.owner[src]]
+	w.outbox[s.parity] = append(w.outbox[s.parity], shardMsg{
+		when: when, src: src, seq: s.sendSeq[src], dst: dst, fn: fn,
+	})
+}
+
+// Run advances all regions until no work remains (regions, in-flight
+// messages, and globals all drained) or every remaining event lies
+// beyond limit, whichever comes first. It returns the poll hook's error
+// if the run was cancelled. Run may only be called once.
+func (s *Sharded) Run(limit Cycle) error {
+	s.limit = limit
+	// Initial window selection happens single-threaded; it may already
+	// run serial windows (e.g. a warmup boundary at cycle 0) or detect
+	// an empty system. Publish the init-time schedules first so the
+	// leader sees them.
+	for _, w := range s.workers {
+		s.publish(w, s.parity)
+	}
+	s.control()
+	if !s.done.Load() {
+		for i := 1; i < len(s.workers); i++ {
+			go s.workerLoop(s.workers[i])
+		}
+		s.workerLoop(s.workers[0])
+	}
+	return s.err
+}
+
+// workerLoop advances the worker's regions window by window until the
+// coordinator signals completion.
+func (s *Sharded) workerLoop(w *shardWorker) {
+	for {
+		s.runWindow(w)
+		s.barrier()
+		if s.done.Load() {
+			return
+		}
+	}
+}
+
+// runWindow executes one parallel window for w's regions: clear the
+// current-parity outbox, deliver last window's messages, advance every
+// owned region to the window end, and publish queue summaries for the
+// leader.
+func (s *Sharded) runWindow(w *shardWorker) {
+	p := s.parity
+	w.outbox[p] = w.outbox[p][:0]
+	s.deliver(w, 1-p)
+	end := s.curEnd
+	for i := w.lo; i < w.hi; i++ {
+		s.regions[i].RunUntil(end - 1)
+	}
+	s.publish(w, p)
+}
+
+// publish records w's pending-work summary for the barrier leader.
+func (s *Sharded) publish(w *shardWorker, p int) {
+	w.pending = 0
+	w.outMsgs = len(w.outbox[p])
+	w.nextOk = false
+	for i := w.lo; i < w.hi; i++ {
+		e := s.regions[i]
+		w.pending += e.Pending()
+		if c, ok := e.NextPending(); ok && (!w.nextOk || c < w.nextMin) {
+			w.nextMin, w.nextOk = c, true
+		}
+	}
+	for _, m := range w.outbox[p] {
+		if !w.nextOk || m.when < w.nextMin {
+			w.nextMin, w.nextOk = m.when, true
+		}
+	}
+}
+
+// deliver merges the previous window's cross-region messages destined
+// for w's regions, in (when, srcRegion, srcSeq) order — a total order
+// independent of the worker count — and schedules them on the owning
+// engines.
+func (s *Sharded) deliver(w *shardWorker, p int) {
+	w.inbox = w.inbox[:0]
+	for _, src := range s.workers {
+		for _, m := range src.outbox[p] {
+			if m.dst >= w.lo && m.dst < w.hi {
+				w.inbox = append(w.inbox, m)
+			}
+		}
+	}
+	if len(w.inbox) == 0 {
+		return
+	}
+	slices.SortFunc(w.inbox, func(a, b shardMsg) int {
+		switch {
+		case a.when != b.when:
+			if a.when < b.when {
+				return -1
+			}
+			return 1
+		case a.src != b.src:
+			return a.src - b.src
+		case a.seq < b.seq:
+			return -1
+		default:
+			return 1
+		}
+	})
+	for i := range w.inbox {
+		m := &w.inbox[i]
+		if m.fn != nil {
+			s.regions[m.dst].At(m.when, m.fn)
+		} else {
+			s.regions[m.dst].AtAct(m.when, m.actor, m.op, m.arg)
+		}
+	}
+}
+
+// barrier is the per-window rendezvous. The last worker to arrive is the
+// leader: it runs the window-control logic (termination, fast-forward,
+// serial windows, cancellation) while everyone else is parked, then
+// bumps the generation to release them.
+func (s *Sharded) barrier() {
+	g := s.gen.Load()
+	if int(s.arrived.Add(1)) == len(s.workers) {
+		s.control()
+		s.arrived.Store(0)
+		s.gen.Add(1)
+		return
+	}
+	for spins := 0; s.gen.Load() == g; spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// control decides the next window. It runs with every worker quiescent
+// (at the barrier, or single-threaded before workers start). Serial
+// windows — those containing globals — are executed inline here, by the
+// leader, until a fully parallel window (or completion) is reached.
+func (s *Sharded) control() {
+	for {
+		s.windows++
+		if s.poll != nil && s.windows%pollStride == 0 {
+			if err := s.poll(); err != nil {
+				s.err = err
+				s.done.Store(true)
+				return
+			}
+		}
+
+		// Gather pending work. After a serial window the published
+		// summaries are stale, so recompute directly — the leader has
+		// exclusive access here.
+		pending := 0
+		var minNext Cycle
+		haveNext := false
+		for _, w := range s.workers {
+			pending += w.pending + w.outMsgs
+			if w.nextOk && (!haveNext || w.nextMin < minNext) {
+				minNext, haveNext = w.nextMin, true
+			}
+		}
+		if len(s.globals) > 0 {
+			if g := s.globals[0].when; !haveNext || g < minNext {
+				minNext, haveNext = g, true
+			}
+			pending += len(s.globals)
+		}
+		if pending == 0 || !haveNext {
+			s.done.Store(true)
+			return
+		}
+		if minNext > s.limit {
+			s.done.Store(true)
+			return
+		}
+
+		// Next window start: the grid is anchored at cycle 0 with pitch
+		// W, independent of K, so fast-forwarding over idle stretches
+		// lands every worker count on the same window sequence.
+		t0 := s.t0 + s.window
+		if aligned := minNext - minNext%s.window; aligned > t0 {
+			t0 = aligned
+		}
+		if s.windows == 1 {
+			// Initial window: include minNext's own window, which may
+			// be window zero.
+			t0 = minNext - minNext%s.window
+		}
+		s.t0 = t0
+		s.curEnd = t0 + s.window
+		s.parity ^= 1
+
+		var boundary func()
+		if s.hook != nil {
+			boundary = s.hook(t0)
+		}
+		if boundary != nil {
+			s.ScheduleGlobal(t0, boundary)
+		}
+		if len(s.globals) == 0 || s.globals[0].when >= s.curEnd {
+			return // parallel window; workers take it from here
+		}
+		s.runSerialWindow()
+	}
+}
+
+// runSerialWindow executes the current window on the leader alone:
+// deliveries, every region's events, and the window's globals,
+// interleaved so a global at cycle g runs after all region events at
+// cycles <= g. Cross-region sends made here are routed through the
+// ordinary outboxes and delivered at the next boundary.
+func (s *Sharded) runSerialWindow() {
+	p := s.parity
+	for _, w := range s.workers {
+		w.outbox[p] = w.outbox[p][:0]
+	}
+	for _, w := range s.workers {
+		s.deliver(w, 1-p)
+	}
+	end := s.curEnd
+	for len(s.globals) > 0 && s.globals[0].when < end {
+		g := s.popGlobal()
+		for _, e := range s.regions {
+			e.RunUntil(g.when)
+		}
+		g.fn()
+	}
+	for _, e := range s.regions {
+		e.RunUntil(end - 1)
+	}
+	for _, w := range s.workers {
+		s.publish(w, p)
+	}
+}

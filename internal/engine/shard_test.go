@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// fnvStep folds one (cycle, seq) pair into a golden-order hash.
+func fnvStep(h, when, seq uint64) uint64 {
+	const prime = 1099511628211
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, v := range [2]uint64{when, seq} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+const (
+	opShKick  = 1
+	opShLocal = 2
+	opShRecv  = 3
+)
+
+// shActor is a synthetic region workload: it mixes a checksum on every
+// event, schedules local follow-ups, and sends cross-region messages at
+// lookahead-respecting delays, all driven by a per-region RNG so the
+// event stream is a pure function of region-local state.
+type shActor struct {
+	sh        *Sharded
+	peers     []*shActor
+	id        int
+	rng       *Rand
+	sum       uint64
+	remaining int
+}
+
+func (a *shActor) Act(op uint8, arg any) {
+	eng := a.sh.Region(a.id)
+	now := eng.Now()
+	a.sum = a.sum*1099511628211 + uint64(now)<<8 + uint64(op)
+	if a.remaining <= 0 {
+		return
+	}
+	a.remaining--
+	r := a.rng.Uint64()
+	eng.ScheduleAct(Cycle(1+r%5), a, opShLocal, nil)
+	if r%3 == 0 {
+		dst := int(r/7) % len(a.peers)
+		w := a.sh.Window()
+		a.sh.Send(a.id, dst, now+w+Cycle(r%9), a.peers[dst], opShRecv, nil)
+	}
+}
+
+// shScenario runs the synthetic workload on R regions with k workers and
+// returns per-region golden hashes, checksums, and final clocks.
+func shScenario(t *testing.T, k, r, perRegion int, globalTicks int) (hashes, sums []uint64, nows []Cycle) {
+	t.Helper()
+	regions := make([]*Engine, r)
+	for i := range regions {
+		regions[i] = NewSized(256)
+	}
+	sh := NewSharded(regions, k, 4)
+	actors := make([]*shActor, r)
+	hashes = make([]uint64, r)
+	for i := range actors {
+		actors[i] = &shActor{sh: sh, id: i, rng: NewRand(int64(i + 1)), remaining: perRegion}
+	}
+	for i := range actors {
+		actors[i].peers = actors
+		i := i
+		regions[i].SetObserver(func(when Cycle, seq uint64) {
+			hashes[i] = fnvStep(hashes[i], uint64(when), seq)
+		})
+		regions[i].AtAct(Cycle(i%3), actors[i], opShKick, nil)
+	}
+	// A recurring global reads and perturbs every region — the shootdown
+	// pattern: broadcast state mutation outside any one region.
+	if globalTicks > 0 {
+		ticks := 0
+		var tick func()
+		tick = func() {
+			var total uint64
+			for _, a := range actors {
+				total += a.sum
+			}
+			for _, a := range actors {
+				a.sum ^= total
+			}
+			ticks++
+			if ticks < globalTicks {
+				sh.ScheduleGlobal(sh.globals0When()+64, tick)
+			}
+		}
+		sh.ScheduleGlobal(64, tick)
+	}
+	if err := sh.Run(1 << 30); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sums = make([]uint64, r)
+	nows = make([]Cycle, r)
+	for i, a := range actors {
+		sums[i] = a.sum
+		nows[i] = regions[i].Now()
+	}
+	return hashes, sums, nows
+}
+
+// globals0When lets the recurring test global re-arm itself relative to
+// the cycle it is running at (globals run with the heap already popped,
+// so "now" is the leader's current serial-window position — approximated
+// by t0, which is deterministic).
+func (s *Sharded) globals0When() Cycle { return s.t0 }
+
+// TestShardedIdentity pins the core guarantee: for every worker count K,
+// the per-region golden event order, model checksums, and final clocks
+// are identical — TestGoldenEventOrder semantics per shard, and (because
+// the per-region streams and the deterministic boundary merge key are
+// K-invariant) for the merged stream too.
+func TestShardedIdentity(t *testing.T) {
+	baseH, baseS, baseN := shScenario(t, 1, 8, 400, 5)
+	for _, k := range []int{2, 3, 4, 8} {
+		h, s, n := shScenario(t, k, 8, 400, 5)
+		for i := range baseH {
+			if h[i] != baseH[i] {
+				t.Errorf("k=%d region %d: golden hash %x, want %x", k, i, h[i], baseH[i])
+			}
+			if s[i] != baseS[i] {
+				t.Errorf("k=%d region %d: checksum %x, want %x", k, i, s[i], baseS[i])
+			}
+			if n[i] != baseN[i] {
+				t.Errorf("k=%d region %d: final cycle %d, want %d", k, i, n[i], baseN[i])
+			}
+		}
+	}
+}
+
+// TestShardedNoGlobals covers the pure fast-forward path (no serial
+// windows at all).
+func TestShardedNoGlobals(t *testing.T) {
+	baseH, baseS, _ := shScenario(t, 1, 5, 200, 0)
+	h, s, _ := shScenario(t, 4, 5, 200, 0)
+	for i := range baseH {
+		if h[i] != baseH[i] || s[i] != baseS[i] {
+			t.Fatalf("region %d diverged: hash %x/%x sum %x/%x", i, h[i], baseH[i], s[i], baseS[i])
+		}
+	}
+}
+
+// TestShardedWindowHook exercises the barrier hook: it may only read
+// barrier-stable state, and fires a serializing action exactly once.
+func TestShardedWindowHook(t *testing.T) {
+	run := func(k int) (uint64, Cycle) {
+		regions := make([]*Engine, 4)
+		for i := range regions {
+			regions[i] = NewSized(256)
+		}
+		sh := NewSharded(regions, k, 4)
+		actors := make([]*shActor, 4)
+		var done atomic.Int64
+		for i := range actors {
+			actors[i] = &shActor{sh: sh, id: i, rng: NewRand(int64(i + 1)), remaining: 100}
+		}
+		for i := range actors {
+			actors[i].peers = actors
+			regions[i].AtAct(0, actors[i], opShKick, nil)
+		}
+		// Count finished actors via an atomic the hook may legally read;
+		// each region increments it exactly once, from its own events.
+		finished := make([]bool, len(actors))
+		for i := range regions {
+			i := i
+			regions[i].SetObserver(func(when Cycle, seq uint64) {
+				if actors[i].remaining == 0 && !finished[i] {
+					finished[i] = true
+					done.Add(1)
+				}
+			})
+		}
+		var fired uint64
+		var firedAt Cycle
+		sh.SetWindowHook(func(t0 Cycle) func() {
+			if fired == 0 && done.Load() == int64(len(actors)) {
+				fired++
+				return func() {
+					firedAt = t0
+					for _, a := range actors {
+						a.sum ^= 0xdeadbeef
+					}
+				}
+			}
+			return nil
+		})
+		if err := sh.Run(1 << 30); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var total uint64
+		for _, a := range actors {
+			total = total*31 + a.sum
+		}
+		return total, firedAt
+	}
+	s1, at1 := run(1)
+	s4, at4 := run(4)
+	if s1 != s4 || at1 != at4 {
+		t.Fatalf("hook run diverged: sum %x/%x firedAt %d/%d", s1, s4, at1, at4)
+	}
+	if at1 == 0 {
+		t.Fatal("hook action never fired")
+	}
+}
+
+// TestShardedLookaheadViolation pins the conservative bound: a
+// cross-region send targeting a cycle inside the current window panics.
+func TestShardedLookaheadViolation(t *testing.T) {
+	regions := []*Engine{NewSized(64), NewSized(64)}
+	sh := NewSharded(regions, 1, 8)
+	var bad Actor = actFunc(func(op uint8, arg any) {})
+	regions[0].At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("in-window cross-region send did not panic")
+			}
+		}()
+		sh.Send(0, 1, regions[0].Now()+1, bad, 0, nil)
+	})
+	if err := sh.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type actFunc func(op uint8, arg any)
+
+func (f actFunc) Act(op uint8, arg any) { f(op, arg) }
+
+// TestShardedLimit stops a self-sustaining system at the limit.
+func TestShardedLimit(t *testing.T) {
+	regions := []*Engine{NewSized(64), NewSized(64)}
+	sh := NewSharded(regions, 2, 4)
+	var ping func()
+	n := 0
+	ping = func() {
+		n++
+		regions[0].Schedule(3, ping)
+	}
+	regions[0].At(0, ping)
+	if err := sh.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if now := regions[0].Now(); now > 1000+4 {
+		t.Fatalf("ran past limit: now=%d", now)
+	}
+	if n == 0 {
+		t.Fatal("nothing ran")
+	}
+}
+
+// TestShardedPoll propagates cancellation from the leader's poll hook.
+func TestShardedPoll(t *testing.T) {
+	regions := []*Engine{NewSized(64)}
+	sh := NewSharded(regions, 1, 4)
+	var ping func()
+	ping = func() { regions[0].Schedule(1, ping) }
+	regions[0].At(0, ping)
+	stop := errors.New("stop")
+	polls := 0
+	sh.SetPoll(func() error {
+		polls++
+		if polls >= 3 {
+			return stop
+		}
+		return nil
+	})
+	if err := sh.Run(1 << 40); !errors.Is(err, stop) {
+		t.Fatalf("Run err = %v, want %v", err, stop)
+	}
+}
+
+// TestShardedWorkerClamp: worker counts beyond the region count clamp.
+func TestShardedWorkerClamp(t *testing.T) {
+	regions := []*Engine{NewSized(64), NewSized(64)}
+	sh := NewSharded(regions, 16, 4)
+	if got := sh.Workers(); got != 2 {
+		t.Fatalf("Workers() = %d, want 2", got)
+	}
+	if got := fmt.Sprint(sh.Regions()); got != "2" {
+		t.Fatalf("Regions() = %s", got)
+	}
+}

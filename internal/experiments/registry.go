@@ -71,6 +71,8 @@ func Registry() []Entry {
 			func(o Options) Renderer { return AblationSpeculation(o) }},
 		{"abl-qos", "Ablation: QoS slice partitioning (future work)",
 			func(o Options) Renderer { return AblationQoS(o) }},
+		{"smoke1024", "1024-core DistributedMesh smoke (sharded-engine scale target)",
+			func(o Options) Renderer { return Smoke1024(o) }},
 	}
 	for i := range entries {
 		id, run := entries[i].ID, entries[i].Run

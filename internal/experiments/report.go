@@ -33,7 +33,8 @@ type RunReport struct {
 }
 
 // ReportOptions echoes the Options the run used (the fields that affect
-// results; Parallelism deliberately excluded — it must not).
+// results; Parallelism and Shards deliberately excluded — neither may
+// change a number, so -shards=1 and -shards=4 reports are byte-identical).
 type ReportOptions struct {
 	Instr      uint64   `json:"instr"`
 	Seed       int64    `json:"seed"`

@@ -47,6 +47,13 @@ type Options struct {
 	// from submission. 0 leaves runs uncapped; requests may always set
 	// a tighter deadline with ?timeout=.
 	MaxRunDuration time.Duration
+	// Shards, when > 0, executes shardable configs (Private and
+	// DistributedMesh organizations) on the partitioned parallel engine
+	// with that many worker goroutines per run. The setting is
+	// process-wide, so the result cache stays internally consistent:
+	// every cached result for a shardable config came from the same
+	// engine. Results are invariant in the shard count itself.
+	Shards int
 }
 
 func (o Options) normalized() Options {
@@ -58,6 +65,9 @@ func (o Options) normalized() Options {
 	}
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 128
+	}
+	if o.Shards < 0 {
+		o.Shards = 0
 	}
 	return o
 }
@@ -115,6 +125,7 @@ func New(opts Options) *Server {
 		cache:    newLRU(opts.CacheEntries),
 		reg:      metrics.NewRegistry(),
 	}
+	s.pool.SetShards(opts.Shards)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.met = serverMetrics{
 		requests:    s.reg.AtomicCounter("server.http.requests"),

@@ -1,0 +1,398 @@
+package system
+
+// The sharded translation path. Each region's events run on its own
+// engine; anything that crosses a region boundary travels as an
+// engine.Sharded message timed with the real mesh latency, which is never
+// below the lookahead window. The xact object itself migrates with its
+// request — mutations are ordered by the window barriers — and always
+// returns to (and is recycled by) the requester region's free list.
+
+import (
+	"nocstar/internal/energy"
+	"nocstar/internal/engine"
+	"nocstar/internal/noc"
+	"nocstar/internal/tlb"
+	"nocstar/internal/vm"
+)
+
+// Region operation codes (engine.Actor dispatch for shRegion).
+const (
+	shThreadLoop      uint8 = iota // run threadLoop(arg.(*thread))
+	shAccessL2                     // start the L2 access path for an xact
+	shHitDone                      // hit response at requester: end window, resume
+	shMissBack                     // miss response at requester: end window, walk
+	shLocalWalked                  // requester walk done: insert + resume
+	shArrive                       // request arrived at the home slice
+	shRemoteWalkStart              // home-side walk start (WalkAtRemote)
+	shRemoteWalked                 // home-side walk done: insert + return result
+	shEndResumeWalk                // remote-walked result at requester: resume
+	shSliceEnd                     // home-side slice-concurrency window closes
+	shInsert                       // cross-region translation insert arrived
+)
+
+// Act dispatches the region's typed events (engine.Actor).
+func (rg *shRegion) Act(op uint8, arg any) {
+	switch op {
+	case shThreadLoop:
+		rg.threadLoop(arg.(*thread))
+		return
+	case shSliceEnd:
+		rg.sliceOut--
+		return
+	case shInsert:
+		m := arg.(*shIns)
+		rg.slice.Insert(m.ctx, m.vpn, m.size, m.pfn)
+		rg.sys.putIns(m)
+		return
+	}
+	x := arg.(*xact)
+	switch op {
+	case shAccessL2:
+		rg.accessL2(x)
+	case shHitDone:
+		rg.endAccess(x)
+		th := x.th
+		e := x.entry
+		th.core.l1.Insert(th.app.as.Ctx, e.VPN, e.Size, e.PFN)
+		rg.finish(x)
+	case shMissBack:
+		rg.endAccess(x)
+		rg.scheduleWalk(x, shLocalWalked)
+	case shLocalWalked:
+		rg.localWalked(x)
+	case shArrive:
+		rg.arrive(x)
+	case shRemoteWalkStart:
+		rg.core.hier.Pollute(pollutionLines)
+		rg.scheduleWalk(x, shRemoteWalked)
+	case shRemoteWalked:
+		rg.remoteWalked(x)
+	case shEndResumeWalk:
+		rg.endAccess(x)
+		rg.resumeWithWalk(x)
+	default:
+		panic("system: unknown sharded op")
+	}
+}
+
+// getXact / putXact: the region-local transaction free list.
+func (rg *shRegion) getXact() *xact {
+	x := rg.xfree
+	if x == nil {
+		return &xact{}
+	}
+	rg.xfree = x.next
+	*x = xact{}
+	return x
+}
+
+func (rg *shRegion) putXact(x *xact) {
+	*x = xact{next: rg.xfree}
+	rg.xfree = x
+}
+
+// threadLoop is the legacy loop against region-local engine and metrics.
+func (rg *shRegion) threadLoop(th *thread) {
+	if th.finished {
+		return
+	}
+	ctx := th.app.as.Ctx
+	carry := th.carry
+	budget := maxRefsPerSlice
+	for th.refsLeft > 0 {
+		if budget <= 0 {
+			if whole := engine.Cycle(carry); whole > 0 {
+				th.carry = carry - float64(whole)
+				rg.eng.ScheduleAct(whole, rg, shThreadLoop, th)
+				return
+			}
+			budget = maxRefsPerSlice
+		}
+		budget--
+		carry += th.cyclesPerRef
+		var va vm.VirtAddr
+		if th.batch != nil {
+			if th.bufPos == th.bufLen {
+				n := len(th.buf)
+				if th.refsLeft < uint64(n) {
+					n = int(th.refsLeft)
+				}
+				th.batch.NextBatch(th.buf[:n])
+				th.bufPos, th.bufLen = 0, n
+			}
+			va = th.buf[th.bufPos]
+			th.bufPos++
+		} else {
+			va = th.gen.Next()
+		}
+		th.refsLeft--
+		rg.m.memRefs.Inc()
+		if _, ok := th.core.l1.Lookup(ctx, va); ok {
+			continue
+		}
+		rg.m.l1Misses.Inc()
+		whole := engine.Cycle(carry)
+		th.carry = carry - float64(whole)
+		x := rg.getXact()
+		x.th = th
+		x.va = va
+		rg.eng.ScheduleAct(whole, rg, shAccessL2, x)
+		return
+	}
+	th.carry = carry
+	rg.finishThread(th, rg.eng.Now()+engine.Cycle(carry))
+}
+
+// finishThread retires a thread into the region's per-app accounting.
+func (rg *shRegion) finishThread(th *thread, at engine.Cycle) {
+	th.finished = true
+	rg.live--
+	ai := th.app.idx
+	rg.appInstr[ai] += rg.sys.cfg.InstrPerThread
+	if at > rg.appFinish[ai] {
+		rg.appFinish[ai] = at
+	}
+}
+
+// finish releases the thread after its translation resolves.
+func (rg *shRegion) finish(x *xact) {
+	th := x.th
+	th.stall += uint64(rg.eng.Now() - x.start)
+	rg.putXact(x)
+	rg.threadLoop(th)
+}
+
+// endAccess closes the outstanding-access window on the requester; the
+// slice-concurrency window closes at the home tile (which is this region
+// exactly when the access was slice-local).
+func (rg *shRegion) endAccess(x *xact) {
+	rg.outstanding--
+	if x.slice == rg.id {
+		rg.sliceOut--
+	}
+}
+
+func (rg *shRegion) resumeWithWalk(x *xact) {
+	th := x.th
+	size := x.res.Size
+	th.core.l1.Insert(th.app.as.Ctx, x.va.VPN(size), size, uint64(x.res.PA)>>size.Shift())
+	rg.finish(x)
+}
+
+// accessL2 opens the L2 access window on the requester region.
+func (rg *shRegion) accessL2(x *xact) {
+	s := rg.sys
+	s.ensureMapped(x.th.app, x.va)
+	x.start = rg.eng.Now()
+	rg.m.l2Accesses.Inc()
+	rg.outstanding++
+	rg.conc.Observe(rg.outstanding)
+	if s.cfg.Org == Private {
+		rg.privateAccess(x)
+		return
+	}
+	rg.distAccess(x)
+}
+
+// privateAccess is the Private baseline: entirely region-local.
+func (rg *shRegion) privateAccess(x *xact) {
+	th := x.th
+	c := rg.core
+	x.slice = -1
+	avail := x.start
+	if c.privPortFree > avail {
+		avail = c.privPortFree
+	}
+	c.privPortFree = avail + 1
+	lookupDone := avail + engine.Cycle(rg.sys.sliceLat)
+
+	e, hit := c.privL2.Lookup(th.app.as.Ctx, x.va)
+	if hit {
+		rg.m.l2Hits.Inc()
+		rg.m.hitLat.Observe(uint64(lookupDone - x.start))
+		x.entry = e
+		rg.eng.AtAct(lookupDone, rg, shHitDone, x)
+		return
+	}
+	rg.m.l2Misses.Inc()
+	rg.eng.AtAct(lookupDone, rg, shMissBack, x)
+}
+
+// distAccess issues a distributed-slice access. Slice-local requests run
+// inline; remote requests become a cross-region message landing at the
+// home tile after the mesh's one-way latency (which is the lookahead
+// bound, so the send is always legal).
+func (rg *shRegion) distAccess(x *xact) {
+	s := rg.sys
+	th := x.th
+	slice := s.sliceForSh(th, x.va)
+	x.slice = slice
+	x.src = th.core.node
+	x.dst = noc.NodeID(slice)
+
+	if slice == rg.id {
+		rg.m.localSlice.Inc()
+		rg.sliceBegin()
+		doneAt, e, hit := rg.sliceLookup(th.app, x.va, x.start)
+		if hit {
+			rg.m.l2Hits.Inc()
+			rg.m.hitLat.Observe(uint64(doneAt - x.start))
+			x.entry = e
+			rg.eng.AtAct(doneAt, rg, shHitDone, x)
+			return
+		}
+		rg.m.l2Misses.Inc()
+		rg.eng.AtAct(doneAt, rg, shMissBack, x)
+		return
+	}
+
+	hops := s.geo.Hops(x.src, x.dst)
+	x.hops = hops
+	x.oneWay = s.mesh.LatencyForHops(hops)
+	rg.meter.AddMessage(energy.DistributedMessage(2*hops, 0))
+	rg.m.netLat.Observe(uint64(2 * x.oneWay))
+	rg.m.remote.Inc()
+	arrive := x.start + engine.Cycle(x.oneWay)
+	s.sh.Send(rg.id, slice, arrive, s.regions[slice], shArrive, x)
+}
+
+// arrive serves a remote request at the home tile: port arbitration and
+// the slice lookup happen at arrival time.
+func (rg *shRegion) arrive(x *xact) {
+	s := rg.sys
+	rg.sliceBegin()
+	doneAt, e, hit := rg.sliceLookup(x.th.app, x.va, rg.eng.Now())
+	rg.eng.AtAct(doneAt, rg, shSliceEnd, nil)
+	src := int(x.src)
+	if hit {
+		rg.m.l2Hits.Inc()
+		resume := doneAt + engine.Cycle(x.oneWay)
+		rg.m.hitLat.Observe(uint64(resume - x.start))
+		x.entry = e
+		s.sh.Send(rg.id, src, resume, s.regions[src], shHitDone, x)
+		return
+	}
+	rg.m.l2Misses.Inc()
+	if s.cfg.Policy == WalkAtRemote {
+		rg.eng.AtAct(doneAt, rg, shRemoteWalkStart, x)
+		return
+	}
+	backAt := doneAt + engine.Cycle(x.oneWay)
+	s.sh.Send(rg.id, src, backAt, s.regions[src], shMissBack, x)
+}
+
+// sliceLookup models the home tile's pipelined slice array.
+func (rg *shRegion) sliceLookup(a *app, va vm.VirtAddr, earliest engine.Cycle) (doneAt engine.Cycle, e tlb.Entry, hit bool) {
+	avail := earliest
+	if rg.slicePortFree > avail {
+		avail = rg.slicePortFree
+	}
+	rg.slicePortFree = avail + 1
+	e, hit = rg.slice.Lookup(a.as.Ctx, va)
+	return avail + engine.Cycle(rg.sys.sliceLat), e, hit
+}
+
+// sliceBegin opens the home tile's slice-concurrency window. For
+// slice-local accesses endAccess closes it; for remote accesses a
+// shSliceEnd event at lookup completion does.
+func (rg *shRegion) sliceBegin() {
+	rg.sliceOut++
+	rg.sliceConc.Observe(rg.sliceOut)
+}
+
+// scheduleWalk runs a page-table walk on this region's walker, under the
+// address space's read lock (walker-local state is region-owned; only
+// the page-table read needs exclusion against concurrent Maps).
+func (rg *shRegion) scheduleWalk(x *xact, op uint8) {
+	s := rg.sys
+	a := x.th.app
+	mu := &s.appMu[a.idx]
+	mu.RLock()
+	lat, res, ok := rg.core.walker.Walk(rg.eng.Now(), a.as, x.va)
+	mu.RUnlock()
+	if !ok {
+		panic("system: walk of unmapped address (ensureMapped missing)")
+	}
+	rg.m.walks.Inc()
+	rg.m.walkLat.Observe(uint64(lat))
+	x.res = res
+	rg.eng.ScheduleAct(engine.Cycle(lat), rg, op, x)
+}
+
+// localWalked completes a requester-side walk: install the translation
+// (shipping cross-region inserts as messages), charge the insert
+// message, resume the thread.
+func (rg *shRegion) localWalked(x *xact) {
+	slice := x.slice
+	if slice < 0 {
+		slice = 0
+	}
+	rg.insertTranslation(x.th, x.va, x.res, slice)
+	if rg.sys.cfg.Org == DistributedMesh && x.src != x.dst {
+		rg.meter.AddMessage(energy.DistributedMessage(x.hops, 0))
+	}
+	rg.resumeWithWalk(x)
+}
+
+// remoteWalked completes a home-side walk (WalkAtRemote): install here,
+// carry the result back to the requester.
+func (rg *shRegion) remoteWalked(x *xact) {
+	rg.insertTranslation(x.th, x.va, x.res, x.slice)
+	src := int(x.src)
+	back := rg.eng.Now() + engine.Cycle(x.oneWay)
+	rg.sys.sh.Send(rg.id, src, back, rg.sys.regions[src], shEndResumeWalk, x)
+}
+
+// insertTranslation installs a walked translation plus its prefetch
+// neighbours. Inserts owned by this region are immediate; foreign slices
+// receive an insert message after the mesh's one-way latency (the legacy
+// model installed them instantaneously — the message-passed variant is
+// the more physical one, and K-invariant).
+func (rg *shRegion) insertTranslation(th *thread, va vm.VirtAddr, res vm.WalkResult, slice int) {
+	s := rg.sys
+	a := th.app
+	size := res.Size
+	vpn := va.VPN(size)
+	rg.insertOne(a, vpn, size, uint64(res.PA)>>size.Shift(), slice)
+
+	for k := 1; k <= s.cfg.PrefetchDegree; k++ {
+		for _, d := range [2]int64{int64(k), -int64(k)} {
+			nvpn := uint64(int64(vpn) + d)
+			nva := vm.VirtAddr(nvpn << size.Shift())
+			s.ensureMapped(a, nva)
+			pa, nsize, ok := s.translate(a, nva)
+			if !ok || nsize != size {
+				continue
+			}
+			ns := slice
+			if s.cfg.Org != Private {
+				ns = s.sliceForSh(th, nva)
+			}
+			rg.insertOne(a, nvpn, size, uint64(pa)>>size.Shift(), ns)
+			rg.m.prefetches.Inc()
+		}
+	}
+}
+
+// insertOne installs one translation into the L2 store. For the Private
+// organization every walk runs on the owning thread's region, so the
+// region's core is the thread's core.
+func (rg *shRegion) insertOne(a *app, vpn uint64, size vm.PageSize, pfn uint64, slice int) {
+	s := rg.sys
+	if s.cfg.Org == Private {
+		rg.core.privL2.Insert(a.as.Ctx, vpn, size, pfn)
+		return
+	}
+	if slice == rg.id {
+		rg.slice.Insert(a.as.Ctx, vpn, size, pfn)
+		return
+	}
+	m := s.getIns()
+	m.ctx = a.as.Ctx
+	m.vpn = vpn
+	m.size = size
+	m.pfn = pfn
+	hops := s.geo.Hops(noc.NodeID(rg.id), noc.NodeID(slice))
+	when := rg.eng.Now() + engine.Cycle(s.mesh.LatencyForHops(hops))
+	s.sh.Send(rg.id, slice, when, s.regions[slice], shInsert, m)
+}

@@ -41,31 +41,41 @@ type sysMetrics struct {
 // invBurstBounds buckets shootdown burst sizes (invalidations per burst).
 var invBurstBounds = []uint64{1, 2, 4, 8, 16, 32, 64, 128}
 
+// newSysMetrics registers every metric in reg, in the canonical order
+// shared by all registries of a run. Sharded runs build one registry per
+// region plus one fold target; positional Registry.Merge depends on every
+// instance registering identically, which funneling all registration
+// through this one constructor guarantees.
+func newSysMetrics(reg *metrics.Registry) sysMetrics {
+	var m sysMetrics
+	m.memRefs = reg.Counter("sys.mem_refs")
+	m.l1Misses = reg.Counter("tlb.l1_misses")
+	m.l2Accesses = reg.Counter("tlb.l2_accesses")
+	m.l2Hits = reg.Counter("tlb.l2_hits")
+	m.l2Misses = reg.Counter("tlb.l2_misses")
+	m.localSlice = reg.Counter("tlb.local_slice")
+	m.remote = reg.Counter("tlb.remote_accesses")
+	m.prefetches = reg.Counter("tlb.prefetch_inserts")
+	m.walks = reg.Counter("vm.walks")
+	m.shootdowns = reg.Counter("vm.shootdowns")
+	m.hitLat = reg.Hist("tlb.l2_hit_cycles", nil)
+	m.netLat = reg.Hist("net.round_trip_cycles", nil)
+	m.walkLat = reg.Hist("ptw.walk_cycles", nil)
+	m.invLat = reg.Hist("vm.inv_burst_size", invBurstBounds)
+	m.engEvents = reg.Counter("engine.events")
+	m.engCycles = reg.Counter("engine.cycles")
+	m.ptwQueue = reg.Counter("ptw.queue_cycles")
+	m.ptwPWCHits = reg.Counter("ptw.pwc_hits")
+	m.ptwLeafLLC = reg.Counter("ptw.leaf_from_llc_or_mem")
+	m.cacheAccess = reg.Counter("cache.walk_accesses")
+	m.cacheMemFill = reg.Counter("cache.mem_fills")
+	return m
+}
+
 // initMetrics builds the run's registry and registers every metric.
 func (s *System) initMetrics() {
 	s.reg = metrics.NewRegistry()
-	m := &s.m
-	m.memRefs = s.reg.Counter("sys.mem_refs")
-	m.l1Misses = s.reg.Counter("tlb.l1_misses")
-	m.l2Accesses = s.reg.Counter("tlb.l2_accesses")
-	m.l2Hits = s.reg.Counter("tlb.l2_hits")
-	m.l2Misses = s.reg.Counter("tlb.l2_misses")
-	m.localSlice = s.reg.Counter("tlb.local_slice")
-	m.remote = s.reg.Counter("tlb.remote_accesses")
-	m.prefetches = s.reg.Counter("tlb.prefetch_inserts")
-	m.walks = s.reg.Counter("vm.walks")
-	m.shootdowns = s.reg.Counter("vm.shootdowns")
-	m.hitLat = s.reg.Hist("tlb.l2_hit_cycles", nil)
-	m.netLat = s.reg.Hist("net.round_trip_cycles", nil)
-	m.walkLat = s.reg.Hist("ptw.walk_cycles", nil)
-	m.invLat = s.reg.Hist("vm.inv_burst_size", invBurstBounds)
-	m.engEvents = s.reg.Counter("engine.events")
-	m.engCycles = s.reg.Counter("engine.cycles")
-	m.ptwQueue = s.reg.Counter("ptw.queue_cycles")
-	m.ptwPWCHits = s.reg.Counter("ptw.pwc_hits")
-	m.ptwLeafLLC = s.reg.Counter("ptw.leaf_from_llc_or_mem")
-	m.cacheAccess = s.reg.Counter("cache.walk_accesses")
-	m.cacheMemFill = s.reg.Counter("cache.mem_fills")
+	s.m = newSysMetrics(s.reg)
 }
 
 // Metrics exposes the run's registry (for tests and external wiring).

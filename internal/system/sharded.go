@@ -1,0 +1,812 @@
+package system
+
+// Partitioned parallel execution: the machine is split into one region
+// per tile (core + its co-located shared-TLB slice), each region with its
+// own engine, advanced by K worker goroutines under the conservative
+// lookahead window of engine.Sharded. The region granularity is always
+// per-tile regardless of K, so the per-region event streams — and the
+// deterministic boundary merge of cross-region messages — are invariant
+// in the worker count: a -shards=K run produces byte-identical Results to
+// -shards=1.
+//
+// The partitioned model is a documented variant of the legacy
+// single-engine model, not a bit-identical reimplementation:
+//
+//   - Remote slice lookups are message-passed: port arbitration and the
+//     lookup happen when the request *arrives* at the home tile, not at
+//     issue time (the legacy model resolved remote port contention with
+//     requester-side foresight). Insert messages likewise land after a
+//     mesh traversal instead of instantaneously.
+//   - Each core's page walker sees a private 1/Cores partition of the
+//     LLC instead of one shared array, so walk-latency interactions
+//     between cores disappear.
+//   - Demand paging uses vm.SetParallelSafe: frames are order-independent
+//     hashes of the virtual page, not bump-allocated.
+//   - The concurrency histogram observes per-region outstanding counts;
+//     the slice-concurrency histogram brackets [arrival, lookup-done] at
+//     the home tile.
+//
+// All of these are K-invariant by construction; determinism across K is
+// pinned by TestShardedSystemIdentity and the cmd-level report matrix.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nocstar/internal/cache"
+	"nocstar/internal/energy"
+	"nocstar/internal/engine"
+	"nocstar/internal/metrics"
+	"nocstar/internal/noc"
+	"nocstar/internal/ptw"
+	"nocstar/internal/sram"
+	"nocstar/internal/stats"
+	"nocstar/internal/tlb"
+	"nocstar/internal/vm"
+	"nocstar/internal/workload"
+)
+
+// shRegion is one tile's simulation region: a core, its slice of the
+// shared TLB (distributed orgs), and everything the region's events may
+// touch without synchronization. It implements engine.Actor for the
+// region's typed events.
+type shRegion struct {
+	sys  *shSystem
+	id   int
+	eng  *engine.Engine
+	core *core
+
+	// Distributed orgs: this tile's shared-TLB slice and its port.
+	slice         *tlb.TLB
+	slicePortFree engine.Cycle
+	sliceOut      int
+
+	threads []*thread
+	live    int // threads of this region still running (current phase)
+
+	outstanding int
+	conc        stats.ConcurrencyHist
+	sliceConc   stats.ConcurrencyHist
+	reg         *metrics.Registry
+	m           sysMetrics
+	meter       energy.Meter
+
+	// Per-app accounting, folded at collect (the app structs themselves
+	// are shared read-only between regions).
+	appInstr  []uint64
+	appFinish []engine.Cycle
+
+	xfree *xact
+}
+
+// shSystem is one configured machine running on the partitioned engine.
+type shSystem struct {
+	cfg     Config
+	geo     noc.Geometry
+	rng     *engine.Rand // globals (disturbances) only
+	mesh    *noc.Mesh    // pure latency/hops calculator; never mutated
+	sh      *engine.Sharded
+	workers int
+	window  engine.Cycle
+
+	regions []*shRegion
+	apps    []*app
+	appMu   []sync.RWMutex // walk-vs-map exclusion per address space
+	threads []*thread
+
+	sliceLat     int
+	measureStart engine.Cycle
+
+	// insPool recycles cross-region insert messages. A sync.Pool is safe
+	// here because only message *identity* is pooled; the simulation state
+	// a message carries is deterministic regardless of which allocation
+	// services it.
+	insPool sync.Pool
+}
+
+// shIns is a cross-region translation-insert message.
+type shIns struct {
+	ctx  vm.ContextID
+	vpn  uint64
+	size vm.PageSize
+	pfn  uint64
+}
+
+// shRegionWheel is the per-region timing-wheel span. Region events are
+// short-range (thread slices, SRAM latencies, walk completions); the rare
+// longer-range event rides the overflow heap.
+const shRegionWheel = 256
+
+// privateWindow is the lookahead window for organizations with no
+// cross-region traffic at all (Private): only serialized globals
+// interact across regions, so the window is limited only by how often
+// the coordinator should rendezvous.
+const privateWindow = 4096
+
+// Shardable reports whether cfg can run on the partitioned parallel
+// engine. Organizations with chip-global arbitration state (NOCSTAR's
+// link arbiters, the monolithic banks) and checker-attached runs fall
+// back to the legacy single-engine path.
+func Shardable(cfg Config) bool {
+	if cfg.Check != nil {
+		return false
+	}
+	return cfg.Org == Private || cfg.Org == DistributedMesh
+}
+
+// RunSharded executes cfg on the partitioned engine with the given worker
+// count (clamped to [1, Cores]). Results are byte-identical for every
+// worker count; non-Shardable configs run on the legacy engine, where the
+// worker count is irrelevant.
+func RunSharded(cfg Config, shards int) (Result, error) {
+	return RunShardedContext(context.Background(), cfg, shards)
+}
+
+// RunShardedContext is RunSharded under a context; cancellation is polled
+// by the coordinator's barrier leader.
+func RunShardedContext(ctx context.Context, cfg Config, shards int) (Result, error) {
+	return runShardedObserved(ctx, cfg, shards, nil)
+}
+
+// RunShardedTraced is RunSharded with a per-region event-order observer:
+// observe is invoked for every engine event of every region, with the
+// region index and the event's (cycle, seq). Calls for different regions
+// arrive concurrently from different workers; observe must partition its
+// state by region. Non-Shardable configs return an error (the legacy
+// path has RunTraced).
+func RunShardedTraced(cfg Config, shards int, observe func(region int, cycle, seq uint64)) (Result, error) {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		return Result{}, err
+	}
+	if !Shardable(ncfg) {
+		return Result{}, fmt.Errorf("system: org %v is not shardable; use RunTraced", ncfg.Org)
+	}
+	return runShardedObserved(context.Background(), cfg, shards, observe)
+}
+
+func runShardedObserved(ctx context.Context, cfg Config, shards int, observe func(region int, cycle, seq uint64)) (Result, error) {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		return Result{}, err
+	}
+	if !Shardable(ncfg) {
+		return RunContext(ctx, cfg)
+	}
+	s := newShSystem(ncfg, shards)
+	if observe != nil {
+		for i, rg := range s.regions {
+			i := i
+			rg.eng.SetObserver(func(when engine.Cycle, seq uint64) {
+				observe(i, uint64(when), seq)
+			})
+		}
+	}
+	return s.runCtx(ctx)
+}
+
+// newShSystem builds the partitioned machine. Construction is fully
+// serial and ordered exactly like the legacy New: app and generator
+// seeding draw from the same RNG stream in the same order.
+func newShSystem(cfg Config, shards int) *shSystem {
+	s := &shSystem{
+		cfg:     cfg,
+		geo:     noc.GridFor(cfg.Cores),
+		rng:     engine.NewRand(cfg.Seed),
+		workers: shards,
+	}
+	s.mesh = noc.NewMesh(noc.DefaultMeshConfig(s.geo))
+	s.sliceLat = sram.AccessCycles(cfg.L2EntriesPerCore)
+	if cfg.Org == Private {
+		s.window = privateWindow
+	} else {
+		s.window = engine.Cycle(s.mesh.MinCrossLatency())
+	}
+	s.insPool.New = func() any { return &shIns{} }
+
+	// The chip-wide LLC is partitioned per tile so each walker hierarchy
+	// is region-owned: same total capacity, no cross-region walk-latency
+	// coupling.
+	llcCfg := cache.LLCConfig()
+	sets := llcCfg.Sets / cfg.Cores
+	if sets < 1 {
+		sets = 1
+	}
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1 // round down to a power of two
+	}
+	llcCfg.Sets = sets
+
+	sizing := tlb.DefaultL1Sizing().Scale(cfg.L1Scale)
+	napps := len(cfg.Apps)
+	for i := 0; i < cfg.Cores; i++ {
+		hier := cache.WalkerHierarchyWithLLC(cache.New(llcCfg))
+		rg := &shRegion{
+			sys: s,
+			id:  i,
+			eng: engine.NewSized(shRegionWheel),
+			core: &core{
+				id:     i,
+				node:   noc.NodeID(i),
+				l1:     tlb.NewL1Group(sizing),
+				walker: ptw.New(cfg.PTW, hier),
+				hier:   hier,
+			},
+			appInstr:  make([]uint64, napps),
+			appFinish: make([]engine.Cycle, napps),
+			reg:       metrics.NewRegistry(),
+		}
+		rg.m = newSysMetrics(rg.reg)
+		switch cfg.Org {
+		case Private:
+			rg.core.privL2 = tlb.New(tlb.Config{
+				Name:    fmt.Sprintf("privL2-%d", i),
+				Entries: cfg.L2EntriesPerCore,
+				Ways:    8,
+				Sizes:   []vm.PageSize{vm.Page4K, vm.Page2M},
+			})
+		case DistributedMesh:
+			rg.slice = tlb.New(tlb.Config{
+				Name:       fmt.Sprintf("slice-%d", i),
+				Entries:    cfg.L2EntriesPerCore,
+				Ways:       8,
+				Sizes:      []vm.PageSize{vm.Page4K, vm.Page2M},
+				IndexHash:  true,
+				MaxCtxWays: cfg.QoSMaxCtxWays,
+			})
+		}
+		s.regions = append(s.regions, rg)
+	}
+
+	// Applications, address spaces, threads — legacy construction order,
+	// with every address space switched to order-independent demand
+	// mapping before any region can touch it.
+	s.appMu = make([]sync.RWMutex, napps)
+	nextCore := 0
+	for ai := range cfg.Apps {
+		acfg := cfg.Apps[ai]
+		a := &app{
+			cfg: acfg,
+			idx: ai,
+			as:  vm.NewAddressSpace(vm.ContextID(ai + 1)),
+		}
+		a.as.SetParallelSafe()
+		a.regions = acfg.Spec.Regions(acfg.Threads)
+		for _, r := range a.regions {
+			limit := uint64(0)
+			if cfg.THP {
+				limit = uint64(float64(r.Span)*acfg.Spec.SuperpageFrac) / 512 * 512
+			}
+			a.superLimit = append(a.superLimit, limit)
+		}
+		s.apps = append(s.apps, a)
+
+		for t := 0; t < acfg.Threads; t++ {
+			rg := s.regions[nextCore%cfg.Cores]
+			nextCore++
+			refs := uint64(float64(cfg.InstrPerThread) * acfg.Spec.MemRefPerInstr)
+			if refs == 0 {
+				refs = 1
+			}
+			var stream workload.Stream
+			if acfg.Streams != nil {
+				stream = acfg.Streams[t]
+			} else {
+				stream = workload.NewGenerator(acfg.Spec, acfg.Threads, t, s.rng.Split())
+			}
+			th := &thread{
+				app:          a,
+				core:         rg.core,
+				gen:          stream,
+				refsTotal:    refs,
+				refsLeft:     refs,
+				cyclesPerRef: acfg.Spec.BaseCPI / acfg.Spec.MemRefPerInstr,
+			}
+			if bs, ok := stream.(workload.BatchStream); ok {
+				th.batch = bs
+				th.buf = make([]vm.VirtAddr, threadBatchSize)
+			}
+			s.threads = append(s.threads, th)
+			rg.threads = append(rg.threads, th)
+		}
+	}
+	for _, rg := range s.regions {
+		rg.live = len(rg.threads)
+	}
+	return s
+}
+
+// region returns the region owning th.
+func (s *shSystem) region(th *thread) *shRegion { return s.regions[th.core.id] }
+
+func (s *shSystem) liveSum() int {
+	n := 0
+	for _, rg := range s.regions {
+		n += rg.live
+	}
+	return n
+}
+
+func (s *shSystem) maxNow() engine.Cycle {
+	var max engine.Cycle
+	for _, rg := range s.regions {
+		if now := rg.eng.Now(); now > max {
+			max = now
+		}
+	}
+	return max
+}
+
+// runCtx executes warmup (optionally) and the measured phase. Each phase
+// gets a fresh coordinator over the same region engines; the window grid
+// is anchored at cycle 0 either way, so phase boundaries are K-invariant.
+func (s *shSystem) runCtx(ctx context.Context) (Result, error) {
+	if s.cfg.WarmupInstr > 0 {
+		for _, th := range s.threads {
+			refs := uint64(float64(s.cfg.WarmupInstr) * th.app.cfg.Spec.MemRefPerInstr)
+			if refs == 0 {
+				refs = 1
+			}
+			th.refsTotal = refs
+			th.refsLeft = refs
+			rg := s.region(th)
+			rg.eng.ScheduleAct(0, rg, shThreadLoop, th)
+		}
+		if err := s.runPhase(ctx, nil); err != nil {
+			return Result{}, err
+		}
+		if live := s.liveSum(); live > 0 {
+			return Result{}, fmt.Errorf("system: warmup exceeded %d cycles with %d threads live",
+				maxCycles, live)
+		}
+		s.boundaryReset()
+	}
+	for _, th := range s.threads {
+		rg := s.region(th)
+		rg.eng.ScheduleAct(0, rg, shThreadLoop, th)
+	}
+	if err := s.runPhase(ctx, s.startDisturbances); err != nil {
+		return Result{}, err
+	}
+	if live := s.liveSum(); live > 0 {
+		return Result{}, fmt.Errorf("system: run exceeded %d cycles with %d threads live",
+			maxCycles, live)
+	}
+	return s.collect(), nil
+}
+
+// runPhase drives one coordinator over the region engines to drain (or
+// maxCycles). arm, when non-nil, schedules the phase's globals once the
+// coordinator exists.
+func (s *shSystem) runPhase(ctx context.Context, arm func()) error {
+	engines := make([]*engine.Engine, len(s.regions))
+	for i, rg := range s.regions {
+		engines[i] = rg.eng
+	}
+	s.sh = engine.NewSharded(engines, s.workers, s.window)
+	if ctx != nil && ctx.Done() != nil {
+		s.sh.SetPoll(func() error {
+			if err := ctx.Err(); err != nil {
+				kind := ErrCanceled
+				if errors.Is(err, context.DeadlineExceeded) {
+					kind = ErrDeadlineExceeded
+				}
+				return fmt.Errorf("%w at cycle %d", kind, s.sh.T0())
+			}
+			return nil
+		})
+	}
+	if arm != nil {
+		arm()
+	}
+	return s.sh.Run(maxCycles)
+}
+
+// boundaryReset is the warmup→measurement boundary: zero every statistic,
+// rearm the threads, keep all warm microarchitectural state. It runs
+// single-threaded between phases.
+func (s *shSystem) boundaryReset() {
+	s.measureStart = s.maxNow()
+	for _, rg := range s.regions {
+		// The warmup drain leaves each region's clock at its own last event;
+		// realign them all to the boundary so measured-phase cross-region
+		// messages (stamped sender-now + mesh latency) can never land in a
+		// faster region's past. The engines are empty here, which is
+		// exactly when SetClock is legal.
+		rg.eng.SetClock(engine.Clock{Now: s.measureStart, Seq: rg.eng.Clock().Seq})
+		rg.eng.ResetProcessed()
+		rg.reg.Reset()
+		rg.conc = stats.ConcurrencyHist{}
+		rg.sliceConc = stats.ConcurrencyHist{}
+		rg.meter = energy.Meter{}
+		rg.core.l1.ResetStats()
+		rg.core.walker.ResetStats()
+		rg.core.hier.ResetStats()
+		if rg.core.privL2 != nil {
+			rg.core.privL2.ResetStats()
+		}
+		if rg.slice != nil {
+			rg.slice.ResetStats()
+		}
+		for i := range rg.appInstr {
+			rg.appInstr[i] = 0
+			rg.appFinish[i] = 0
+		}
+		rg.live = len(rg.threads)
+	}
+	for _, th := range s.threads {
+		refs := uint64(float64(s.cfg.InstrPerThread) * th.app.cfg.Spec.MemRefPerInstr)
+		if refs == 0 {
+			refs = 1
+		}
+		th.refsTotal = refs
+		th.refsLeft = refs
+		th.carry = 0
+		th.stall = 0
+		th.finished = false
+		th.bufPos, th.bufLen = 0, 0
+	}
+}
+
+// collect assembles the Result by folding per-region state in region
+// index order — the one fold order every worker count shares.
+func (s *shSystem) collect() Result {
+	r := Result{Org: s.cfg.Org}
+	for ai, a := range s.apps {
+		var instr uint64
+		var finish engine.Cycle
+		for _, rg := range s.regions {
+			instr += rg.appInstr[ai]
+			if rg.appFinish[ai] > finish {
+				finish = rg.appFinish[ai]
+			}
+		}
+		rel := engine.Cycle(0)
+		if finish > s.measureStart {
+			rel = finish - s.measureStart
+		}
+		ar := AppResult{
+			Name:         a.cfg.Spec.Name,
+			Instructions: instr,
+			FinishCycle:  uint64(rel),
+		}
+		if rel > 0 {
+			ar.IPC = float64(instr) / float64(rel)
+		}
+		r.Apps = append(r.Apps, ar)
+		r.Instructions += instr
+		if ar.FinishCycle > r.Cycles {
+			r.Cycles = ar.FinishCycle
+		}
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+
+	merged := metrics.NewRegistry()
+	m := newSysMetrics(merged)
+	for _, rg := range s.regions {
+		rg.collectLayer()
+		merged.Merge(rg.reg)
+	}
+	if now := s.maxNow(); now > s.measureStart {
+		m.engCycles.Add(uint64(now - s.measureStart))
+	}
+
+	r.MemRefs = m.memRefs.Value()
+	r.L1Misses = m.l1Misses.Value()
+	r.L2Accesses = m.l2Accesses.Value()
+	r.L2Hits = m.l2Hits.Value()
+	r.L2Misses = m.l2Misses.Value()
+	r.Walks = m.walks.Value()
+	r.LocalSlice = m.localSlice.Value()
+	r.Prefetches = m.prefetches.Value()
+	r.Shootdowns = m.shootdowns.Value()
+	for _, th := range s.threads {
+		r.StallCycles += th.stall
+	}
+	if m.hitLat.Count() > 0 {
+		r.AvgL2AccessCycles = float64(m.hitLat.Sum()) / float64(m.hitLat.Count())
+	}
+	if remote := m.remote.Value(); remote > 0 {
+		r.AvgNetCycles = float64(m.netLat.Sum()) / float64(remote)
+	}
+	for _, rg := range s.regions {
+		r.Conc.Merge(&rg.conc)
+		r.SliceConc.Merge(&rg.sliceConc)
+		w := rg.core.walker.Stats()
+		r.PTW.Walks += w.Walks
+		r.PTW.TotalCycles += w.TotalCycles
+		r.PTW.QueueCycles += w.QueueCycles
+		r.PTW.PWCHits += w.PWCHits
+		r.PTW.LeafFromLLCOrMem += w.LeafFromLLCOrMem
+		for i := range w.MemRefsByLevel {
+			r.PTW.MemRefsByLevel[i] += w.MemRefsByLevel[i]
+		}
+	}
+
+	var meter energy.Meter
+	for _, rg := range s.regions {
+		meter.NetworkPJ += rg.meter.NetworkPJ
+	}
+	meter.AddL1Lookups(r.MemRefs)
+	meter.AddL2Lookups(r.L2Accesses, s.cfg.L2EntriesPerCore)
+	meter.AddWalkRefs(r.PTW.MemRefsByLevel)
+	meter.AddStatic(r.Cycles, s.cfg.Cores*(s.cfg.L2EntriesPerCore+100))
+	r.Energy = meter
+
+	r.Metrics = merged.Snapshot()
+	return r
+}
+
+// collectLayer folds the region's engine, walker, and cache accounting
+// into its registry, once, after the run drains.
+func (rg *shRegion) collectLayer() {
+	rg.m.engEvents.Add(rg.eng.Processed())
+	w := rg.core.walker.Stats()
+	rg.m.ptwQueue.Add(w.QueueCycles)
+	rg.m.ptwPWCHits.Add(w.PWCHits)
+	rg.m.ptwLeafLLC.Add(w.LeafFromLLCOrMem)
+	acc, _, fills := rg.core.hier.Stats()
+	rg.m.cacheAccess.Add(acc)
+	rg.m.cacheMemFill.Add(fills)
+}
+
+// ---------------------------------------------------------------------
+// Disturbances. All disturbance machinery runs as coordinator globals:
+// serialized, with every worker parked, free to read and mutate any
+// region. Port charges use the global's scheduled cycle as "now", since
+// region clocks are only guaranteed to have reached that cycle.
+
+// startDisturbances arms the measured phase's globals. Intervals are
+// anchored at the measurement start so warmed and cold runs agree.
+func (s *shSystem) startDisturbances() {
+	base := s.measureStart
+	if s.cfg.ShootdownInterval > 0 {
+		when := base + engine.Cycle(s.cfg.ShootdownInterval)
+		s.sh.ScheduleGlobal(when, func() { s.shootdownTick(when) })
+	}
+	if s.cfg.Storm != nil {
+		st := &storm{
+			as:   vm.NewAddressSpace(vm.ContextID(len(s.apps) + 1)),
+			base: 0x7000_0000_0000,
+		}
+		st.regions = s.cfg.Storm.Pages / 512
+		if st.regions == 0 {
+			st.regions = 1
+		}
+		st.promoted = make([]bool, st.regions)
+		if s.cfg.Storm.PromoteDemoteInterval > 0 {
+			when := base + engine.Cycle(s.cfg.Storm.PromoteDemoteInterval)
+			s.sh.ScheduleGlobal(when, func() { s.stormPromoteDemote(st, when) })
+		}
+		if s.cfg.Storm.ContextSwitchInterval > 0 {
+			when := base + engine.Cycle(s.cfg.Storm.ContextSwitchInterval)
+			s.sh.ScheduleGlobal(when, func() { s.stormContextSwitch(when) })
+		}
+	}
+}
+
+// shootdownTick mirrors the legacy generator: remap one random hot page,
+// broadcast the invalidation, re-arm while any thread is live.
+func (s *shSystem) shootdownTick(now engine.Cycle) {
+	if s.liveSum() == 0 {
+		return
+	}
+	a := s.apps[s.rng.Intn(len(s.apps))]
+	reg := a.regions[0]
+	idx := s.rng.Uint64n(reg.Pages)
+	va := reg.Base + vm.VirtAddr(workload.PageSlot(idx, reg.Pages)*vm.Page4K.Bytes())
+	s.ensureMapped(a, va)
+	_, size, ok := s.translate(a, va)
+	if ok {
+		s.deliverInvalidations(now, []vm.Invalidation{
+			{Ctx: a.as.Ctx, VPN: va.VPN(size), Size: size},
+		})
+	}
+	next := now + engine.Cycle(s.cfg.ShootdownInterval)
+	s.sh.ScheduleGlobal(next, func() { s.shootdownTick(next) })
+}
+
+// stormPromoteDemote mirrors the legacy storm: promote or demote the next
+// 2 MB region, synchronously waiting out the invalidation burst.
+func (s *shSystem) stormPromoteDemote(st *storm, now engine.Cycle) {
+	if s.liveSum() == 0 {
+		return
+	}
+	idx := st.next % st.regions
+	st.next++
+	base := st.base + vm.VirtAddr(idx*vm.Page2M.Bytes())
+	var invs []vm.Invalidation
+	if !st.promoted[idx] {
+		for i := uint64(0); i < 512; i++ {
+			st.as.EnsureMapped(base+vm.VirtAddr(i*vm.Page4K.Bytes()), vm.Page4K)
+		}
+		if got, err := st.as.Promote2M(base); err == nil {
+			invs = got
+			st.promoted[idx] = true
+		}
+	} else {
+		if got, err := st.as.Demote2M(base); err == nil {
+			invs = got
+			st.promoted[idx] = false
+		}
+	}
+	horizon := s.deliverInvalidations(now, invs)
+	next := engine.Cycle(s.cfg.Storm.PromoteDemoteInterval)
+	if wait := horizon - now; wait > next {
+		next = wait + engine.Cycle(s.cfg.Storm.PromoteDemoteInterval)/4
+	}
+	at := now + next
+	s.sh.ScheduleGlobal(at, func() { s.stormPromoteDemote(st, at) })
+}
+
+// stormContextSwitch flushes all TLB state chip-wide, as the legacy
+// version does.
+func (s *shSystem) stormContextSwitch(now engine.Cycle) {
+	if s.liveSum() == 0 {
+		return
+	}
+	for _, rg := range s.regions {
+		rg.core.l1.Flush()
+		rg.core.walker.InvalidatePWC()
+		if rg.core.privL2 != nil {
+			rg.core.privL2.Flush()
+			s.chargePrivPort(rg, 4, now)
+		}
+		if rg.slice != nil {
+			rg.slice.Flush()
+			s.chargeSlicePort(rg.id, 4, now)
+		}
+	}
+	next := now + engine.Cycle(s.cfg.Storm.ContextSwitchInterval)
+	s.sh.ScheduleGlobal(next, func() { s.stormContextSwitch(next) })
+}
+
+// deliverInvalidations is the sharded twin of the legacy shootdown
+// delivery: L1/PWC scrub everywhere, relayed messages charged to the
+// owning slice or private-TLB ports (coalesced to at most a set scrub),
+// returning the latest busy horizon. Burst statistics land in region 0's
+// registry — an arbitrary but fixed choice; folds are sums.
+func (s *shSystem) deliverInvalidations(now engine.Cycle, invs []vm.Invalidation) engine.Cycle {
+	if len(invs) == 0 {
+		return now
+	}
+	m := &s.regions[0].m
+	m.invLat.Observe(uint64(len(invs)))
+
+	senders := s.cfg.Cores
+	if s.cfg.InvLeaders > 0 && s.cfg.InvLeaders < s.cfg.Cores {
+		senders = s.cfg.InvLeaders
+		group := (s.cfg.Cores + senders - 1) / senders
+		for l := 0; l < s.cfg.Cores; l += group {
+			if s.cfg.Org == DistributedMesh {
+				s.chargeSlicePort(l, group, now)
+			}
+		}
+	}
+
+	sliceCharges := map[int]int{}
+	privCharges := 0
+	for _, inv := range invs {
+		for _, rg := range s.regions {
+			rg.core.l1.Apply(inv)
+			rg.core.walker.InvalidatePWC()
+		}
+		switch s.cfg.Org {
+		case DistributedMesh:
+			if inv.FullFlush {
+				for _, rg := range s.regions {
+					rg.slice.Apply(inv)
+					sliceCharges[rg.id]++
+				}
+				m.shootdowns.Add(uint64(len(s.regions)))
+				continue
+			}
+			home := s.homeSliceSh(vm.VirtAddr(inv.VPN << inv.Size.Shift()))
+			s.regions[home].slice.Apply(inv)
+			sliceCharges[home] += senders
+			m.shootdowns.Add(uint64(senders))
+		default: // Private
+			for _, rg := range s.regions {
+				rg.core.privL2.Apply(inv)
+			}
+			privCharges++
+			m.shootdowns.Inc()
+		}
+	}
+
+	horizon := now
+	for slice, n := range sliceCharges {
+		rg := s.regions[slice]
+		cap := rg.slice.Sets() + senders
+		if n > cap {
+			n = cap
+		}
+		s.chargeSlicePort(slice, n, now)
+		if rg.slicePortFree > horizon {
+			horizon = rg.slicePortFree
+		}
+	}
+	if privCharges > 0 {
+		n := privCharges
+		if cap := s.regions[0].core.privL2.Sets() + 1; n > cap {
+			n = cap
+		}
+		for _, rg := range s.regions {
+			s.chargePrivPort(rg, n, now)
+			if rg.core.privPortFree > horizon {
+				horizon = rg.core.privPortFree
+			}
+		}
+	}
+	return horizon
+}
+
+// chargeSlicePort makes a slice's port busy for n extra cycles from now.
+func (s *shSystem) chargeSlicePort(slice, n int, now engine.Cycle) {
+	rg := s.regions[slice]
+	if rg.slicePortFree < now {
+		rg.slicePortFree = now
+	}
+	rg.slicePortFree += engine.Cycle(n)
+}
+
+// chargePrivPort makes a core's private L2 TLB port busy for n cycles.
+func (s *shSystem) chargePrivPort(rg *shRegion, n int, now engine.Cycle) {
+	if rg.core.privPortFree < now {
+		rg.core.privPortFree = now
+	}
+	rg.core.privPortFree += engine.Cycle(n)
+}
+
+// ---------------------------------------------------------------------
+// Shared virtual-memory access. Page tables are in parallel-safe mode
+// (order-independent frames, pure walks); an RWMutex per address space
+// excludes Map from concurrent walks.
+
+// ensureMapped demand-maps va for a, first probing under the read lock —
+// pages never become unmapped during a run, so a positive probe is
+// final and the write lock is only taken on the miss path.
+func (s *shSystem) ensureMapped(a *app, va vm.VirtAddr) {
+	mu := &s.appMu[a.idx]
+	mu.RLock()
+	_, _, ok := a.as.Translate(va)
+	mu.RUnlock()
+	if ok {
+		return
+	}
+	mu.Lock()
+	a.as.EnsureMapped(va, a.mapSize(va, s.cfg.THP))
+	if _, _, ok := a.as.Translate(va); !ok {
+		a.as.EnsureMapped(va, vm.Page4K)
+	}
+	mu.Unlock()
+}
+
+// translate walks a's page table under the read lock.
+func (s *shSystem) translate(a *app, va vm.VirtAddr) (vm.PhysAddr, vm.PageSize, bool) {
+	mu := &s.appMu[a.idx]
+	mu.RLock()
+	pa, size, ok := a.as.Translate(va)
+	mu.RUnlock()
+	return pa, size, ok
+}
+
+// sliceForSh mirrors the legacy sliceFor (hammer redirection included).
+func (s *shSystem) sliceForSh(th *thread, va vm.VirtAddr) int {
+	if th != nil && th.app.cfg.HammerSlice >= 0 {
+		return th.app.cfg.HammerSlice % s.cfg.Cores
+	}
+	return s.homeSliceSh(va)
+}
+
+// homeSliceSh is the home-slice hash (identical to the legacy mapping).
+func (s *shSystem) homeSliceSh(va vm.VirtAddr) int {
+	return int(mix(uint64(va)>>21) % uint64(s.cfg.Cores))
+}
+
+func (s *shSystem) getIns() *shIns  { return s.insPool.Get().(*shIns) }
+func (s *shSystem) putIns(m *shIns) { s.insPool.Put(m) }

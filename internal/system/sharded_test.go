@@ -1,0 +1,275 @@
+package system
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nocstar/internal/engine"
+	"nocstar/internal/vm"
+	"nocstar/internal/workload"
+)
+
+// shardedCases are the configs the K-identity matrix runs: both shardable
+// organizations, exercised with warmup, THP superpages, prefetch, remote
+// walks, QoS partitioning, hammer redirection, steady shootdowns, and the
+// full TLB storm. Every determinism-relevant code path appears at least
+// once.
+func shardedCases() map[string]Config {
+	return map[string]Config{
+		"private": func() Config {
+			c := smallConfig(Private)
+			c.WarmupInstr = 5_000
+			c.THP = true
+			c.PrefetchDegree = 2
+			c.ShootdownInterval = 40_000
+			return c
+		}(),
+		"dist-base": smallConfig(DistributedMesh),
+		"dist-remote-walk": func() Config {
+			c := smallConfig(DistributedMesh)
+			c.Policy = WalkAtRemote
+			c.PrefetchDegree = 2
+			c.THP = true
+			c.WarmupInstr = 5_000
+			return c
+		}(),
+		"dist-storm": func() Config {
+			c := smallConfig(DistributedMesh)
+			c.ShootdownInterval = 30_000
+			c.InvLeaders = 2
+			c.QoSMaxCtxWays = 4
+			c.Storm = &StormConfig{
+				ContextSwitchInterval: 120_000,
+				PromoteDemoteInterval: 25_000,
+				Pages:                 2048,
+			}
+			return c
+		}(),
+		"dist-hammer": func() Config {
+			c := smallConfig(DistributedMesh)
+			c.Apps[0].HammerSlice = 3
+			return c
+		}(),
+	}
+}
+
+// TestShardedSystemIdentity is the tentpole determinism pin: for every
+// shardable config, a -shards=K run produces a Result deep-equal to the
+// K=1 run — counters, histograms, energy, per-app results, the full
+// metrics snapshot — for every K.
+func TestShardedSystemIdentity(t *testing.T) {
+	for name, cfg := range shardedCases() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base, err := RunSharded(cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Cycles == 0 || base.L2Accesses == 0 {
+				t.Fatalf("degenerate run: %+v", base)
+			}
+			for _, k := range []int{2, 4, 8} {
+				got, err := RunSharded(cfg, k)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("shards=%d diverges from shards=1:\n base=%+v\n got=%+v", k, base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedGoldenEventOrder pins the stronger property underneath the
+// Result identity: the per-region event order — every (cycle, seq) pair
+// each region's engine processes — is invariant in the worker count.
+func TestShardedGoldenEventOrder(t *testing.T) {
+	cfg := smallConfig(DistributedMesh)
+	cfg.ShootdownInterval = 30_000
+	cfg.PrefetchDegree = 1
+
+	hash := func(shards int) ([]uint64, uint64) {
+		hashes := make([]uint64, cfg.Cores)
+		for i := range hashes {
+			hashes[i] = 14695981039346656037 // FNV-1a offset basis
+		}
+		_, err := RunShardedTraced(cfg, shards, func(region int, cycle, seq uint64) {
+			h := hashes[region]
+			h = (h ^ cycle) * 1099511628211
+			h = (h ^ seq) * 1099511628211
+			hashes[region] = h
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var merged uint64 = 14695981039346656037
+		for _, h := range hashes {
+			merged = (merged ^ h) * 1099511628211
+		}
+		return hashes, merged
+	}
+
+	base, baseMerged := hash(1)
+	for _, k := range []int{2, 4} {
+		got, gotMerged := hash(k)
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("shards=%d: region %d event order diverges (hash %x != %x)",
+					k, i, got[i], base[i])
+			}
+		}
+		if gotMerged != baseMerged {
+			t.Fatalf("shards=%d: merged event-order hash diverges", k)
+		}
+	}
+}
+
+// TestShardedTracedRejectsUnshardable: the per-region observer has no
+// meaning on the single-engine fallback path.
+func TestShardedTracedRejectsUnshardable(t *testing.T) {
+	if _, err := RunShardedTraced(smallConfig(Nocstar), 2, func(int, uint64, uint64) {}); err == nil {
+		t.Fatal("RunShardedTraced accepted a non-shardable org")
+	}
+}
+
+// TestShardedFallback: non-shardable organizations silently run on the
+// legacy engine and must match Run exactly.
+func TestShardedFallback(t *testing.T) {
+	cfg := smallConfig(Nocstar)
+	want := mustRun(t, cfg)
+	got, err := RunSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("fallback RunSharded diverges from Run")
+	}
+}
+
+// TestShardedStormContention is the -race target: a multi-worker run
+// where coordinator globals (shootdowns, storm promote/demote bursts,
+// chip-wide context-switch flushes) interleave with hot cross-region
+// traffic on every barrier. Correctness of the numbers is pinned by the
+// identity test; this one exists to put the memory model under the race
+// detector.
+func TestShardedStormContention(t *testing.T) {
+	cfg := smallConfig(DistributedMesh)
+	cfg.InstrPerThread = 8_000
+	cfg.ShootdownInterval = 10_000
+	cfg.Policy = WalkAtRemote
+	cfg.PrefetchDegree = 2
+	cfg.Storm = &StormConfig{
+		ContextSwitchInterval: 60_000,
+		PromoteDemoteInterval: 15_000,
+		Pages:                 1024,
+	}
+	r, err := RunSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shootdowns == 0 {
+		t.Fatal("storm run produced no shootdowns")
+	}
+}
+
+// shardedAllocSystem builds a Private-organization partitioned system in
+// steady state. Private regions exchange no hot-path messages, so each
+// region's engine can be driven directly — exactly the code the worker
+// goroutines run between barriers — without a coordinator.
+func shardedAllocSystem(t testing.TB) (*shSystem, *engine.Cycle) {
+	t.Helper()
+	const threads = 8
+	spec := workload.Spec{
+		Name:           "alloc-ring",
+		FootprintPages: 1,
+		MemRefPerInstr: 1.0,
+		BaseCPI:        1.0,
+	}
+	app := App{Spec: spec, Threads: threads, HammerSlice: HammerNone}
+	for i := 0; i < threads; i++ {
+		app.Streams = append(app.Streams, &ringStream{
+			base:  vm.VirtAddr(0x1000_0000_0000 + uint64(i)*0x4000_0000),
+			pages: 4096,
+		})
+	}
+	cfg := Config{
+		Org:            Private,
+		Cores:          threads,
+		Apps:           []App{app},
+		InstrPerThread: 1 << 40,
+		Seed:           5,
+	}
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newShSystem(ncfg, 4)
+	for _, th := range s.threads {
+		rg := s.region(th)
+		rg.eng.ScheduleAct(0, rg, shThreadLoop, th)
+	}
+	limit := engine.Cycle(2_000_000)
+	for _, rg := range s.regions {
+		rg.eng.RunUntil(limit)
+	}
+	var walks uint64
+	for _, rg := range s.regions {
+		walks += rg.m.walks.Value()
+	}
+	if walks == 0 {
+		t.Fatal("warmup did not exercise the walk path")
+	}
+	return s, &limit
+}
+
+// BenchmarkSharded measures wall-clock scaling of the partitioned engine
+// on a large DistributedMesh machine: one high-miss-rate thread per core,
+// heavy cross-slice traffic, identical simulated work at every shard
+// count (the results are byte-identical; only the wall clock moves).
+func BenchmarkSharded(b *testing.B) {
+	spec, ok := workload.ByName("gups")
+	if !ok {
+		b.Fatal("gups workload missing")
+	}
+	const cores = 64
+	cfg := Config{
+		Org:            DistributedMesh,
+		Cores:          cores,
+		Apps:           []App{{Spec: spec, Threads: cores, HammerSlice: HammerNone}},
+		InstrPerThread: 30_000,
+		Seed:           1,
+	}
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := RunSharded(cfg, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.MemRefs), "memrefs")
+				}
+			}
+		})
+	}
+}
+
+// TestShardedRegionAllocFree pins the per-shard hot path at zero heap
+// allocations in steady state: thread issue, L1 miss, private L2 lookup
+// and port arbitration, page walk, translation insert, resume.
+func TestShardedRegionAllocFree(t *testing.T) {
+	s, limit := shardedAllocSystem(t)
+	avg := testing.AllocsPerRun(10, func() {
+		*limit += 20_000
+		for _, rg := range s.regions {
+			rg.eng.RunUntil(*limit)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("sharded region hot path allocates: %.1f allocs per 20k cycles, want 0", avg)
+	}
+}

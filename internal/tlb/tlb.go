@@ -98,8 +98,8 @@ type TLB struct {
 	// accumulate a match mask, then select — so a whole 4-way set costs
 	// half a 64-byte line and entries is only touched on a hit.
 	// Maintained by Insert and the invalidation paths.
-	keys []uint64
-	ways int
+	keys    []uint64
+	ways    int
 	nsets   uint64
 	setMask uint64 // nsets-1 when nsets is a power of two, else 0
 	tick    uint64

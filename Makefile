@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all help build fmt vet staticcheck test race bench bench-engine bench-json bench-json-smoke bench-compare alloc check fuzz smoke serve-smoke sharded profile ci clean
+.PHONY: all help build fmt vet staticcheck test race bench bench-engine bench-json bench-json-smoke bench-compare alloc check fuzz smoke serve-smoke serve-cluster-smoke sharded profile ci clean
 
 all: build vet test
 
@@ -17,10 +17,11 @@ help:
 	@echo "  check        invariant-checker gate: shadow-oracle runs + fuzz seed corpora"
 	@echo "  fuzz         open-ended randomized checking (grows fuzz corpora)"
 	@echo "  smoke        end-to-end report-pipeline smoke run"
-	@echo "  serve-smoke  HTTP service smoke: submit/poll/cache over a loopback listener"
+	@echo "  serve-smoke  HTTP service smoke: submit/poll/cache/sweep/persistent-store over a loopback listener"
+	@echo "  serve-cluster-smoke  two-node consistent-hash smoke: exactly-once execution, cross-node cache serving"
 	@echo "  sharded      partitioned-engine determinism gate: K-identity, golden event order, report matrix, -race storm"
 	@echo "  profile      CPU/heap profiles of the Table III sweep"
-	@echo "  ci           build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke"
+	@echo "  ci           build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke serve-cluster-smoke"
 
 build:
 	$(GO) build ./...
@@ -121,9 +122,16 @@ smoke:
 
 # End-to-end smoke of the HTTP service: boot against a loopback listener,
 # submit a run, poll to completion, verify byte identity with a direct
-# in-process Run, then resubmit and verify a result-cache hit.
+# in-process Run, resubmit and verify a result-cache hit, stream a sweep
+# over SSE, and verify the persistent store survives a server restart.
 serve-smoke:
 	$(GO) run ./cmd/nocstar-serve -selftest
+
+# Two in-process nodes wired as consistent-hash peers: a config submitted
+# to both nodes executes exactly once cluster-wide, byte-identical
+# everywhere, and each node afterwards serves it from its own store.
+serve-cluster-smoke:
+	$(GO) run ./cmd/nocstar-serve -selftest-cluster
 
 # The partitioned-engine determinism gate: Result identity and per-region
 # golden event order across shard counts, the end-to-end report matrix
@@ -144,7 +152,7 @@ profile:
 		-o profiles/nocstar.test .
 	@echo "inspect with: go tool pprof -top profiles/nocstar.test profiles/cpu.out"
 
-ci: build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke
+ci: build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke serve-cluster-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,27 +1,34 @@
 // Command nocstar-serve runs the simulator as a long-lived HTTP
-// service: clients POST JSON configs to /v1/runs, poll run status,
-// stream progress over SSE, and share a canonical-config result cache
-// across requests.
+// service: clients POST JSON configs to /v1/runs (or whole design-space
+// sweeps to /v1/sweeps), poll run status, stream progress and results
+// over SSE, and share a content-addressed result cache across requests
+// — and, with -store-dir, across restarts and replicas.
 //
 // Usage:
 //
 //	nocstar-serve -addr :8080 -workers 8 -cache 256
-//	nocstar-serve -selftest   # end-to-end smoke against a loopback listener
+//	nocstar-serve -addr :8080 -store-dir /var/lib/nocstar/results
+//	nocstar-serve -addr :8081 -node http://10.0.0.2:8081 \
+//	    -peers http://10.0.0.1:8081,http://10.0.0.2:8081
+//	nocstar-serve -selftest          # end-to-end smoke against a loopback listener
+//	nocstar-serve -selftest-cluster  # two-node consistent-hash smoke
 //
 // Endpoints:
 //
 //	POST   /v1/runs             submit a config (optionally ?timeout=30s)
+//	POST   /v1/sweeps           submit a config array; results stream back as SSE
 //	GET    /v1/runs             list accepted runs
 //	GET    /v1/runs/{id}        run status; includes the result when done
 //	DELETE /v1/runs/{id}        cancel a queued or running job
 //	GET    /v1/runs/{id}/events run state transitions as SSE
 //	GET    /v1/workloads        the built-in workload suite
 //	GET    /v1/experiments      the paper experiment registry
-//	GET    /healthz             liveness and pool occupancy
+//	GET    /healthz             liveness and pool occupancy (503 while draining)
 //	GET    /metrics             Prometheus text exposition
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -33,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,32 +50,60 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 64, "bounded submission queue depth (full queue returns 429)")
-		cache    = flag.Int("cache", 128, "LRU result-cache entries, keyed on canonical config hash")
-		maxRun   = flag.Duration("max-run", 0, "wall-clock cap on every run; 0 means uncapped")
-		shards   = flag.Int("shards", 0, "worker goroutines inside each shardable run (0 = legacy single-engine)")
-		drain    = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget for in-flight runs")
-		selftest = flag.Bool("selftest", false, "run an end-to-end smoke against a loopback listener and exit")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "bounded submission queue depth (full queue returns 429)")
+		cache        = flag.Int("cache", 128, "in-memory result-cache entries, keyed on canonical config hash")
+		storeDir     = flag.String("store-dir", "", "persistent content-addressed result store directory (survives restarts; shareable between replicas)")
+		storeEntries = flag.Int("store-max-entries", 0, "persistent store entry bound (0 = 4096)")
+		storeBytes   = flag.Int64("store-max-bytes", 0, "persistent store payload-byte bound (0 = unbounded)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every replica (enables consistent-hash work sharding)")
+		node         = flag.String("node", "", "this replica's own entry in -peers")
+		history      = flag.Int("job-history", 0, "terminal jobs retained in the run registry (0 = 512)")
+		maxRun       = flag.Duration("max-run", 0, "wall-clock cap on every run; 0 means uncapped")
+		shards       = flag.Int("shards", 0, "worker goroutines inside each shardable run (0 = legacy single-engine)")
+		drain        = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget for in-flight runs")
+		selftest     = flag.Bool("selftest", false, "run an end-to-end smoke against a loopback listener and exit")
+		selfcluster  = flag.Bool("selftest-cluster", false, "run a two-node consistent-hash smoke on loopback listeners and exit")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		MaxRunDuration: *maxRun,
-		Shards:         *shards,
-	})
+	opts := server.Options{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		StoreDir:        *storeDir,
+		StoreMaxEntries: *storeEntries,
+		StoreMaxBytes:   *storeBytes,
+		JobHistory:      *history,
+		MaxRunDuration:  *maxRun,
+		Shards:          *shards,
+	}
+	if *peers != "" {
+		opts.Peers = strings.Split(*peers, ",")
+		opts.Node = *node
+	}
 
 	if *selftest {
-		if err := runSelftest(srv); err != nil {
+		if err := runSelftest(opts); err != nil {
 			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
 			os.Exit(1)
 		}
 		fmt.Println("selftest PASSED")
 		return
+	}
+	if *selfcluster {
+		if err := runClusterSelftest(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster selftest FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cluster selftest PASSED")
+		return
+	}
+
+	srv, err := server.New(opts)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -88,12 +124,58 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Drain the serve tier before closing the listener: the moment
+	// Shutdown starts, /healthz answers 503 "draining" and new
+	// submissions are refused, but pollers can still collect results —
+	// a load balancer sees the node drain instead of drop.
+	drainErr := srv.Shutdown(ctx)
 	httpSrv.Shutdown(ctx)
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+	if drainErr != nil {
+		log.Printf("drain incomplete: %v", drainErr)
 		os.Exit(1)
 	}
 	log.Println("drained cleanly")
+}
+
+// node is one booted loopback server instance used by the selftests.
+type testNode struct {
+	srv  *server.Server
+	http *http.Server
+	ln   net.Listener
+	base string
+}
+
+// boot starts a server over a fresh loopback listener. When ln is nil a
+// new one is bound; passing one in lets callers learn addresses before
+// constructing peer lists.
+func boot(opts server.Options, ln net.Listener) (*testNode, error) {
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n := &testNode{
+		srv:  srv,
+		http: &http.Server{Handler: srv.Handler()},
+		ln:   ln,
+		base: "http://" + ln.Addr().String(),
+	}
+	go n.http.Serve(ln)
+	return n, nil
+}
+
+func (n *testNode) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	n.srv.Shutdown(ctx)
+	n.http.Shutdown(ctx)
 }
 
 // selftestConfig is a deliberately small run so the smoke finishes in
@@ -107,72 +189,108 @@ const selftestConfig = `{
 	"seed": 1
 }`
 
+// selftestConfig2 is a second, distinct point for the sweep smoke.
+const selftestConfig2 = `{
+	"schema": 1,
+	"org": "nocstar",
+	"cores": 8,
+	"apps": [{"workload": "gups", "threads": 8}],
+	"instr_per_thread": 20000,
+	"seed": 2
+}`
+
+type status struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+// directResult runs cfgJSON in process and returns its marshaled Result
+// — the byte-identity reference for everything served over HTTP.
+func directResult(cfgJSON string) ([]byte, error) {
+	cfg, err := system.UnmarshalConfig([]byte(cfgJSON))
+	if err != nil {
+		return nil, fmt.Errorf("decoding config: %w", err)
+	}
+	res, err := system.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("direct run: %w", err)
+	}
+	return json.Marshal(res)
+}
+
+// submitAndPoll POSTs a config and polls the run to a terminal state.
+func submitAndPoll(base, cfgJSON string) (status, error) {
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(cfgJSON))
+	if err != nil {
+		return status{}, err
+	}
+	var st status
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return status{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return status{}, fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return status{}, err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("run %s stuck in state %q", st.ID, st.State)
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			return st, fmt.Errorf("run %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/runs/" + st.ID)
+		if err != nil {
+			return st, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
 // runSelftest exercises the service end to end over a real loopback
 // listener: submit, poll to completion, verify the HTTP result is
-// byte-identical to a direct in-process Run, then resubmit and verify a
-// cache hit. Backs `make serve-smoke`.
-func runSelftest(srv *server.Server) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// byte-identical to a direct in-process Run, resubmit and verify a
+// cache hit, stream a two-config sweep over SSE, then boot a second
+// server over the same store directory and verify the result survived
+// the "restart" without re-execution. Backs `make serve-smoke`.
+func runSelftest(opts server.Options) error {
+	if opts.StoreDir == "" {
+		dir, err := os.MkdirTemp("", "nocstar-selftest-store-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts.StoreDir = dir
+	}
+	n, err := boot(opts, nil)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	go httpSrv.Serve(ln)
-	base := "http://" + ln.Addr().String()
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(ctx)
-		srv.Shutdown(ctx)
-	}()
+	defer n.stop()
 
-	type status struct {
-		ID     string          `json:"id"`
-		State  string          `json:"state"`
-		Cached bool            `json:"cached"`
-		Error  string          `json:"error"`
-		Result json.RawMessage `json:"result"`
-	}
-
-	// The reference: a direct in-process run of the same config.
-	cfg, err := system.UnmarshalConfig([]byte(selftestConfig))
-	if err != nil {
-		return fmt.Errorf("decoding selftest config: %w", err)
-	}
-	direct, err := system.Run(cfg)
-	if err != nil {
-		return fmt.Errorf("direct run: %w", err)
-	}
-	want, err := json.Marshal(direct)
+	want, err := directResult(selftestConfig)
 	if err != nil {
 		return err
 	}
 
 	// Submit and poll to completion.
-	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader([]byte(selftestConfig)))
+	st, err := submitAndPoll(n.base, selftestConfig)
 	if err != nil {
 		return err
-	}
-	var st status
-	if err := decodeInto(resp, http.StatusAccepted, &st); err != nil {
-		return fmt.Errorf("submit: %w", err)
-	}
-	deadline := time.Now().Add(2 * time.Minute)
-	for st.State != "done" {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("run %s stuck in state %q", st.ID, st.State)
-		}
-		if st.State == "failed" || st.State == "canceled" {
-			return fmt.Errorf("run %s ended %s: %s", st.ID, st.State, st.Error)
-		}
-		time.Sleep(50 * time.Millisecond)
-		resp, err = http.Get(base + "/v1/runs/" + st.ID)
-		if err != nil {
-			return err
-		}
-		if err := decodeInto(resp, http.StatusOK, &st); err != nil {
-			return fmt.Errorf("poll: %w", err)
-		}
 	}
 	if !bytes.Equal(st.Result, want) {
 		return fmt.Errorf("HTTP result differs from direct run (%d vs %d bytes)", len(st.Result), len(want))
@@ -180,13 +298,9 @@ func runSelftest(srv *server.Server) error {
 	fmt.Println("selftest: HTTP result byte-identical to direct run")
 
 	// Resubmit: must be served from the result cache, byte-identical.
-	resp, err = http.Post(base+"/v1/runs", "application/json", bytes.NewReader([]byte(selftestConfig)))
+	again, err := submitAndPoll(n.base, selftestConfig)
 	if err != nil {
 		return err
-	}
-	var again status
-	if err := decodeInto(resp, http.StatusOK, &again); err != nil {
-		return fmt.Errorf("resubmit: %w", err)
 	}
 	if !again.Cached {
 		return fmt.Errorf("resubmit not served from cache (state %q)", again.State)
@@ -196,9 +310,66 @@ func runSelftest(srv *server.Server) error {
 	}
 	fmt.Println("selftest: resubmit served from cache, byte-identical")
 
+	// Sweep: two configs over SSE, one a store hit, one fresh.
+	want2, err := directResult(selftestConfig2)
+	if err != nil {
+		return err
+	}
+	results, summary, err := postSweep(n.base, "["+selftestConfig+","+selftestConfig2+"]")
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if len(results) != 2 || summary.Total != 2 || summary.Done != 2 {
+		return fmt.Errorf("sweep: %d results, summary %+v", len(results), summary)
+	}
+	for _, r := range results {
+		ref := want
+		if r.Index == 1 {
+			ref = want2
+		}
+		if r.State != "done" || !bytes.Equal(r.Result, ref) {
+			return fmt.Errorf("sweep result %d: state %q, %d bytes (want %d)", r.Index, r.State, len(r.Result), len(ref))
+		}
+	}
+	fmt.Println("selftest: sweep streamed both results over SSE, byte-identical")
+
+	// The store directory holds the blobs.
+	entries, err := os.ReadDir(opts.StoreDir)
+	if err != nil {
+		return err
+	}
+	blobs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			blobs++
+		}
+	}
+	if blobs < 2 {
+		return fmt.Errorf("store dir %s holds %d blobs, want >= 2", opts.StoreDir, blobs)
+	}
+
+	// Restart survival: a fresh server over the same store directory
+	// serves the result as a cache hit without re-executing.
+	n2, err := boot(opts, nil)
+	if err != nil {
+		return err
+	}
+	defer n2.stop()
+	revived, err := submitAndPoll(n2.base, selftestConfig)
+	if err != nil {
+		return err
+	}
+	if !revived.Cached || !bytes.Equal(revived.Result, want) {
+		return fmt.Errorf("restart: cached=%v, bytes equal=%v", revived.Cached, bytes.Equal(revived.Result, want))
+	}
+	if n, err := metricValue(n2.base, "nocstar_server_runs_executed"); err != nil || n != 0 {
+		return fmt.Errorf("restarted server executed %d runs (err %v), want 0", n, err)
+	}
+	fmt.Println("selftest: result survived restart via persistent store, no re-execution")
+
 	// The read-only endpoints must answer.
 	for _, path := range []string{"/healthz", "/metrics", "/v1/workloads", "/v1/experiments", "/v1/runs"} {
-		resp, err := http.Get(base + path)
+		resp, err := http.Get(n.base + path)
 		if err != nil {
 			return fmt.Errorf("GET %s: %w", path, err)
 		}
@@ -212,15 +383,175 @@ func runSelftest(srv *server.Server) error {
 	return nil
 }
 
-// decodeInto checks the status code and decodes the JSON body.
-func decodeInto(resp *http.Response, want int, v any) error {
+type sweepResult struct {
+	Index  int             `json:"index"`
+	State  string          `json:"state"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+type sweepSummary struct {
+	Total     int `json:"total"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	CacheHits int `json:"cache_hits"`
+}
+
+// postSweep submits a config array to /v1/sweeps and parses the SSE
+// stream into result frames and the terminal summary.
+func postSweep(base, body string) ([]sweepResult, sweepSummary, error) {
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, sweepSummary{}, err
+	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, sweepSummary{}, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var (
+		results []sweepResult
+		summary sweepSummary
+		event   string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "result":
+				var r sweepResult
+				if err := json.Unmarshal([]byte(data), &r); err != nil {
+					return nil, summary, err
+				}
+				results = append(results, r)
+			case "summary":
+				if err := json.Unmarshal([]byte(data), &summary); err != nil {
+					return nil, summary, err
+				}
+			}
+		}
+	}
+	return results, summary, sc.Err()
+}
+
+// metricValue scrapes one counter from a node's /metrics exposition.
+func metricValue(base, name string) (int64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v int64
+		if n, _ := fmt.Sscanf(sc.Text(), name+" %d", &v); n == 1 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// runClusterSelftest boots two in-process nodes wired as consistent-hash
+// peers, each with its own store directory, and verifies the sharding
+// contract: a config submitted to either node executes exactly once
+// cluster-wide, both nodes serve it byte-identically, and the
+// non-owning node serves later hits from its own store. Backs
+// `make serve-cluster-smoke`.
+func runClusterSelftest(opts server.Options) error {
+	want, err := directResult(selftestConfig)
 	if err != nil {
 		return err
 	}
-	if resp.StatusCode != want {
-		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, want, body)
+
+	// Bind listeners first so the peer list exists before the servers.
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
 	}
-	return json.Unmarshal(body, v)
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	peers := []string{urlA, urlB}
+
+	mk := func(self, dir string, ln net.Listener) (*testNode, error) {
+		o := opts
+		o.StoreDir = dir
+		o.Peers = peers
+		o.Node = self
+		return boot(o, ln)
+	}
+	dirA, err := os.MkdirTemp("", "nocstar-cluster-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirA)
+	dirB, err := os.MkdirTemp("", "nocstar-cluster-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirB)
+	a, err := mk(urlA, dirA, lnA)
+	if err != nil {
+		return err
+	}
+	defer a.stop()
+	b, err := mk(urlB, dirB, lnB)
+	if err != nil {
+		return err
+	}
+	defer b.stop()
+
+	// Submit to node A, then to node B. Whichever owns the hash must be
+	// the only executor; the other serves via proxy or its own store.
+	stA, err := submitAndPoll(a.base, selftestConfig)
+	if err != nil {
+		return fmt.Errorf("node A: %w", err)
+	}
+	if !bytes.Equal(stA.Result, want) {
+		return fmt.Errorf("node A result differs from direct run")
+	}
+	stB, err := submitAndPoll(b.base, selftestConfig)
+	if err != nil {
+		return fmt.Errorf("node B: %w", err)
+	}
+	if !bytes.Equal(stB.Result, want) {
+		return fmt.Errorf("node B result differs from direct run")
+	}
+
+	execA, err := metricValue(a.base, "nocstar_server_runs_executed")
+	if err != nil {
+		return err
+	}
+	execB, err := metricValue(b.base, "nocstar_server_runs_executed")
+	if err != nil {
+		return err
+	}
+	if execA+execB != 1 {
+		return fmt.Errorf("cluster executed %d+%d runs, want exactly 1", execA, execB)
+	}
+	fmt.Printf("cluster selftest: one execution cluster-wide (A=%d B=%d), both nodes byte-identical\n", execA, execB)
+
+	// Both nodes now hold the blob locally: a resubmission anywhere is
+	// a local store hit even with the other node gone.
+	for name, n := range map[string]*testNode{"A": a, "B": b} {
+		st, err := submitAndPoll(n.base, selftestConfig)
+		if err != nil {
+			return fmt.Errorf("node %s resubmit: %w", name, err)
+		}
+		if !st.Cached || !bytes.Equal(st.Result, want) {
+			return fmt.Errorf("node %s resubmit: cached=%v", name, st.Cached)
+		}
+	}
+	fmt.Println("cluster selftest: both nodes serve the hash from their own stores")
+	return nil
 }

@@ -69,6 +69,46 @@ func TestSubmitContextCancel(t *testing.T) {
 	}
 }
 
+// TestSubmitDeadOnArrival pins that a submission whose context is
+// already canceled resolves immediately with the typed error, never
+// registers an in-flight call (a live identical submission must not
+// join it and inherit the cancellation), and never consumes a worker
+// slot or a Submitted count.
+func TestSubmitDeadOnArrival(t *testing.T) {
+	cfg := smallCfg(9)
+	r := New(1)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	fut := r.SubmitContext(dead, cfg)
+	if _, err := fut.Result(); !errors.Is(err, system.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if p := r.Progress(); p.Submitted != 0 {
+		t.Fatalf("dead submission was scheduled: %+v", p)
+	}
+
+	// An identical live submission starts fresh instead of joining the
+	// dead one.
+	res, err := r.SubmitContext(context.Background(), cfg).Result()
+	if err != nil {
+		t.Fatalf("live resubmission failed: %v", err)
+	}
+	if res.MemRefs == 0 {
+		t.Fatal("live resubmission produced an empty result")
+	}
+	if p := r.Progress(); p.Submitted != 1 || p.Deduped != 0 {
+		t.Fatalf("want 1 fresh execution and 0 dedups, got %+v", p)
+	}
+
+	// A deadline that already passed maps to the deadline sentinel.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := r.SubmitContext(expired, cfg).Result(); !errors.Is(err, system.ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+}
+
 // TestKeyCanonical pins that the dedup key is the canonical encoding:
 // defaulted and explicitly-spelled configs share one key, so concurrent
 // submissions of either form singleflight to one execution.

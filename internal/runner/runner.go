@@ -17,6 +17,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/pprof"
@@ -218,6 +219,16 @@ func (r *Runner) Run(cfg system.Config) system.Result {
 }
 
 func (r *Runner) submit(ctx context.Context, cfg system.Config, cache bool) *Future {
+	if ctx != nil && ctx.Err() != nil {
+		// Dead on arrival (e.g. a service job canceled while it waited in
+		// the queue): complete immediately with the typed error instead of
+		// occupying a worker slot — and, crucially, without registering an
+		// in-flight call that a live identical submission could join and
+		// inherit the cancellation from.
+		c := &call{done: make(chan struct{}), err: ctxSentinel(ctx.Err())}
+		close(c.done)
+		return &Future{c: c}
+	}
 	key, keyed := Key(cfg)
 	if keyed && r.Shards() > 0 && system.Shardable(cfg) {
 		// The partitioned engine is a model variant: never share results
@@ -326,6 +337,15 @@ func (r *Runner) warmCheckpoint(ctx context.Context, cfg system.Config, wkey str
 	}
 	close(w.done)
 	return w.cp, w.err
+}
+
+// ctxSentinel maps a context error onto the system package's typed
+// run-termination sentinels, matching what RunContext would return.
+func ctxSentinel(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w before start", system.ErrDeadlineExceeded)
+	}
+	return fmt.Errorf("%w before start", system.ErrCanceled)
 }
 
 // acquire blocks until a worker slot is free.

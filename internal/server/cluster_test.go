@@ -1,0 +1,414 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nocstar/internal/system"
+)
+
+// directBytes is the byte-identity reference: json.Marshal of a direct
+// in-process Run of the config.
+func directBytes(t *testing.T, body string) []byte {
+	t.Helper()
+	cfg, err := system.UnmarshalConfig([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func hashOf(t *testing.T, body string) string {
+	t.Helper()
+	cfg, err := system.UnmarshalConfig([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cfg.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestRestartSurvival populates the persistent store through one server,
+// shuts it down, and verifies a brand-new server over the same directory
+// serves the result as a cache hit — byte-identical, zero executions.
+func TestRestartSurvival(t *testing.T) {
+	dir := t.TempDir()
+	body := smallConfig(40)
+	want := directBytes(t, body)
+
+	srv1, ts1 := newTestServer(t, Options{Workers: 2, StoreDir: dir})
+	code, st := postRun(t, ts1.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if final := pollUntilTerminal(t, ts1.URL, st.ID); final.State != string(stateDone) {
+		t.Fatalf("run ended %s: %s", final.State, final.Error)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same store directory.
+	srv2, ts2 := newTestServer(t, Options{Workers: 2, StoreDir: dir})
+	code, hit := postRun(t, ts2.URL, body)
+	if code != http.StatusOK || !hit.Cached {
+		t.Fatalf("post-restart submit: status %d cached=%v", code, hit.Cached)
+	}
+	if !bytes.Equal(hit.Result, want) {
+		t.Fatalf("post-restart result differs from direct run (%d vs %d bytes)", len(hit.Result), len(want))
+	}
+	if got := srv2.met.executed.Value(); got != 0 {
+		t.Fatalf("restarted server executed %d runs, want 0", got)
+	}
+}
+
+// clusterNode boots a Server on a pre-bound loopback listener so peer
+// URLs can exist before the servers that use them.
+type clusterNode struct {
+	srv  *Server
+	base string
+}
+
+func bootCluster(t *testing.T, n int, mkOpts func(i int, self string, peers []string) Options) []clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]clusterNode, n)
+	for i := range nodes {
+		srv, err := New(mkOpts(i, peers[i], peers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(lns[i])
+		nodes[i] = clusterNode{srv: srv, base: peers[i]}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			hs.Shutdown(ctx)
+			srv.Shutdown(ctx)
+		})
+	}
+	return nodes
+}
+
+// TestTwoNodeProxy is the consistent-hash sharding contract: a config
+// whose hash is owned by node B, submitted to node A, executes exactly
+// once cluster-wide (on B), is served byte-identically through A, and
+// afterwards lives in A's own store so A serves it without B.
+func TestTwoNodeProxy(t *testing.T) {
+	nodes := bootCluster(t, 2, func(i int, self string, peers []string) Options {
+		return Options{Workers: 2, StoreDir: t.TempDir(), Node: self, Peers: peers}
+	})
+	a, b := nodes[0], nodes[1]
+
+	// Find a config owned by B, so submitting to A must proxy.
+	var body string
+	for seed := int64(50); ; seed++ {
+		if seed > 200 {
+			t.Fatal("no B-owned config found in 150 seeds")
+		}
+		cand := smallConfig(seed)
+		if a.srv.owner(hashOf(t, cand)) == b.base {
+			body = cand
+			break
+		}
+	}
+	want := directBytes(t, body)
+
+	code, st := postRun(t, a.base, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit via non-owner: status %d", code)
+	}
+	final := pollUntilTerminal(t, a.base, st.ID)
+	if final.State != string(stateDone) {
+		t.Fatalf("proxied run ended %s: %s", final.State, final.Error)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Fatalf("proxied result differs from direct run (%d vs %d bytes)", len(final.Result), len(want))
+	}
+
+	// Exactly one execution cluster-wide, and it happened on the owner.
+	if got := b.srv.met.executed.Value(); got != 1 {
+		t.Fatalf("owner executed %d runs, want 1", got)
+	}
+	if got := a.srv.met.executed.Value(); got != 0 {
+		t.Fatalf("non-owner executed %d runs, want 0", got)
+	}
+	if got := a.srv.met.proxied.Value(); got != 1 {
+		t.Fatalf("non-owner proxied %d runs, want 1", got)
+	}
+
+	// The proxied result entered A's own store: resubmission hits the
+	// cache without touching B.
+	code, hit := postRun(t, a.base, body)
+	if code != http.StatusOK || !hit.Cached {
+		t.Fatalf("resubmit via non-owner: status %d cached=%v", code, hit.Cached)
+	}
+	if !bytes.Equal(hit.Result, want) {
+		t.Fatal("non-owner cached result differs")
+	}
+	if got := b.srv.met.executed.Value(); got != 1 {
+		t.Fatalf("resubmission re-executed on owner (%d)", got)
+	}
+}
+
+// TestProxyFallbackLocal pins the availability contract: a hash owned
+// by an unreachable peer executes locally instead of failing.
+func TestProxyFallbackLocal(t *testing.T) {
+	// A peer list naming a dead owner: nothing listens on the peer port.
+	dead := "http://127.0.0.1:1"
+	srv, err := New(Options{Workers: 2, Node: "http://127.0.0.1:2", Peers: []string{"http://127.0.0.1:2", dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := struct{ URL string }{}
+	hs, ln := serveOn(t, srv)
+	ts.URL = "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Shutdown(ctx)
+	}()
+
+	var body string
+	for seed := int64(60); ; seed++ {
+		if seed > 200 {
+			t.Fatal("no dead-owned config found")
+		}
+		cand := smallConfig(seed)
+		if srv.owner(hashOf(t, cand)) == dead {
+			body = cand
+			break
+		}
+	}
+	want := directBytes(t, body)
+
+	code, st := postRun(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	final := pollUntilTerminal(t, ts.URL, st.ID)
+	if final.State != string(stateDone) {
+		t.Fatalf("fallback run ended %s: %s", final.State, final.Error)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Fatal("fallback result differs from direct run")
+	}
+	if got := srv.met.proxyFallbck.Value(); got != 1 {
+		t.Fatalf("fallback counter %d, want 1", got)
+	}
+	if got := srv.met.executed.Value(); got != 1 {
+		t.Fatalf("executed %d, want 1", got)
+	}
+}
+
+func serveOn(t *testing.T, srv *Server) (*http.Server, net.Listener) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return hs, ln
+}
+
+// readSweep parses an SSE sweep stream into result frames and the
+// terminal summary.
+func readSweep(t *testing.T, body io.Reader) ([]sweepResult, sweepSummary) {
+	t.Helper()
+	var (
+		results []sweepResult
+		summary sweepSummary
+		event   string
+		sawSum  bool
+	)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "result":
+				var r sweepResult
+				if err := json.Unmarshal(data, &r); err != nil {
+					t.Fatalf("decoding result frame: %v", err)
+				}
+				results = append(results, r)
+			case "summary":
+				if err := json.Unmarshal(data, &summary); err != nil {
+					t.Fatalf("decoding summary frame: %v", err)
+				}
+				sawSum = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSum {
+		t.Fatal("stream ended without a summary event")
+	}
+	return results, summary
+}
+
+// TestSweepSSE is the batch contract: POST /v1/sweeps streams one
+// result frame per config as it completes — each embedding the raw
+// Result bytes, identical to a direct system.Run — and closes with a
+// summary. A duplicated config still yields a frame per index.
+func TestSweepSSE(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+
+	bodies := []string{smallConfig(70), smallConfig(71), smallConfig(70)}
+	wants := make([][]byte, len(bodies))
+	for i, b := range bodies {
+		wants[i] = directBytes(t, b)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader("["+strings.Join(bodies, ",")+"]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sweep: status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	results, summary := readSweep(t, resp.Body)
+
+	if len(results) != len(bodies) {
+		t.Fatalf("%d result frames, want %d", len(results), len(bodies))
+	}
+	seen := map[int]bool{}
+	for _, r := range results {
+		if seen[r.Index] {
+			t.Fatalf("index %d streamed twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.State != string(stateDone) {
+			t.Fatalf("config %d ended %s: %s", r.Index, r.State, r.Error)
+		}
+		if !bytes.Equal(r.Result, wants[r.Index]) {
+			t.Fatalf("config %d: streamed result differs from direct run (%d vs %d bytes)",
+				r.Index, len(r.Result), len(wants[r.Index]))
+		}
+	}
+	if summary.Total != 3 || summary.Done != 3 || summary.Failed != 0 || summary.Canceled != 0 {
+		t.Fatalf("summary %+v", summary)
+	}
+}
+
+// TestSweepValidation: an invalid element fails the whole batch with a
+// 400 naming the index, before any streaming.
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`[`+smallConfig(80)+`, {"schema": 1, "org": "nocstar", "apps": []}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "config[1]") {
+		t.Fatalf("400 body does not name the offending index: %s", raw)
+	}
+
+	// Not an array at all.
+	resp2, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(`{"not":"an array"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-array: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestSweepServesFromStore: a sweep resubmitted end-to-end is all cache
+// hits — zero new executions — with byte-identical frames.
+func TestSweepServesFromStore(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 2})
+	bodies := []string{smallConfig(90), smallConfig(91)}
+	payload := "[" + strings.Join(bodies, ",") + "]"
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := readSweep(t, resp.Body)
+	resp.Body.Close()
+	executed := srv.met.executed.Value()
+	if executed != 2 {
+		t.Fatalf("first sweep executed %d, want 2", executed)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, summary := readSweep(t, resp.Body)
+	resp.Body.Close()
+	if srv.met.executed.Value() != executed {
+		t.Fatal("replayed sweep re-executed configs")
+	}
+	if summary.CacheHits != 2 {
+		t.Fatalf("replayed sweep cache hits %d, want 2", summary.CacheHits)
+	}
+	byIdx := map[int][]byte{}
+	for _, r := range first {
+		byIdx[r.Index] = r.Result
+	}
+	for _, r := range second {
+		if !r.Cached {
+			t.Fatalf("replayed config %d not served from store", r.Index)
+		}
+		if !bytes.Equal(r.Result, byIdx[r.Index]) {
+			t.Fatalf("replayed config %d differs from first sweep", r.Index)
+		}
+	}
+}

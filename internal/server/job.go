@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"time"
 
 	"nocstar/internal/system"
 )
@@ -40,6 +41,9 @@ type job struct {
 	id   string
 	hash string
 	cfg  system.Config
+	// timeout is the effective run deadline the job was created with,
+	// forwarded verbatim when the job is proxied to its owning peer.
+	timeout time.Duration
 
 	// ctx governs the execution (server base context plus the request's
 	// deadline); cancel releases it and is also the DELETE handler's
@@ -89,6 +93,13 @@ func (j *job) status(withResult bool) runStatus {
 		st.Result = j.result
 	}
 	return st
+}
+
+// terminal reports whether the job has reached a terminal state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.terminal()
 }
 
 // event snapshots the job as an SSE progress message.

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Consistent-hash work sharding. With a static peer list, every
+// canonical config hash has exactly one owner under rendezvous (HRW)
+// hashing: the peer whose (peer, hash) digest is highest. Rendezvous
+// hashing needs no ring state, and removing or adding one peer only
+// remaps the hashes that peer owned — the rest of the design space
+// stays put, and the content-addressed store makes any remapped hash a
+// cache hit anyway. A submission landing on a non-owner is mirrored
+// into a local proxy job that forwards to the owner and tracks the
+// remote run, so clients interact with any node uniformly; an
+// unreachable owner degrades to local execution.
+
+// forwardHeader marks a request already forwarded by a peer. A
+// forwarded submission always resolves locally, bounding proxy chains
+// at one hop even when peers disagree about the peer list.
+const forwardHeader = "X-Nocstar-Forwarded"
+
+// isForwarded reports whether a peer forwarded this request.
+func isForwarded(r *http.Request) bool { return r.Header.Get(forwardHeader) != "" }
+
+// owner returns the peer base URL owning hash, or "" when this node
+// owns it (or sharding is disabled).
+func (s *Server) owner(hash string) string {
+	if len(s.peers) == 0 {
+		return ""
+	}
+	best, bestScore := "", uint64(0)
+	for _, p := range s.peers {
+		h := fnv.New64a()
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+		io.WriteString(h, hash)
+		score := h.Sum64()
+		// Ties break toward the lexically smaller peer so every node
+		// computes the same owner.
+		if best == "" || score > bestScore || (score == bestScore && p < best) {
+			best, bestScore = p, score
+		}
+	}
+	if best == s.self {
+		return ""
+	}
+	return best
+}
+
+// proxyPollInterval paces status polls against the owning peer.
+const proxyPollInterval = 50 * time.Millisecond
+
+// proxyClient is the HTTP client for peer traffic: connection reuse,
+// but a bounded per-call timeout so a hung peer degrades to local
+// execution instead of wedging the proxy job.
+var proxyClient = &http.Client{Timeout: 30 * time.Second}
+
+// proxyJob mirrors j onto its owning peer: the config is forwarded,
+// the remote run polled to a terminal state, and the outcome — result
+// bytes included, so they enter this node's store too — copied onto
+// the local job. Any transport-level failure falls back to executing
+// locally on the shared pool, so a dead peer costs latency, never
+// availability. Cancellation of the local job (DELETE, deadline,
+// shutdown) is relayed to the owner best-effort.
+func (s *Server) proxyJob(j *job, owner string) {
+	j.setState(stateRunning, nil, "")
+	st, err := s.proxyRemote(j, owner)
+	if err == nil {
+		s.finishJob(j, jobState(st.State), st.Result, st.Error)
+		return
+	}
+	if j.ctx.Err() != nil || j.terminal() {
+		// Canceled while proxying: nothing left to fall back for.
+		s.finishJob(j, stateCanceled, nil, "canceled by request")
+		return
+	}
+	s.met.proxyFallbck.Inc()
+	s.execJob(j)
+}
+
+// proxyRemote submits j's config to owner and follows the remote run to
+// a terminal status. Errors mean "owner unreachable or unusable" and
+// select the local fallback; a remote terminal status (even failed or
+// canceled) is returned as-is.
+func (s *Server) proxyRemote(j *job, owner string) (runStatus, error) {
+	body, err := j.cfg.MarshalCanonical()
+	if err != nil {
+		return runStatus{}, err
+	}
+	submitURL := owner + "/v1/runs"
+	if j.timeout > 0 {
+		submitURL += "?timeout=" + url.QueryEscape(j.timeout.String())
+	}
+	st, code, err := s.proxyRequest(j.ctx, http.MethodPost, submitURL, body)
+	if err != nil {
+		return runStatus{}, err
+	}
+	switch code {
+	case http.StatusOK, http.StatusAccepted:
+	default:
+		// 429/503/4xx from the owner: treat as unavailable for this
+		// hash and run locally.
+		return runStatus{}, fmt.Errorf("owner %s refused submission: status %d", owner, code)
+	}
+	for !jobState(st.State).terminal() {
+		select {
+		case <-j.ctx.Done():
+			// Relay the cancellation so the owner stops simulating, on a
+			// fresh context (ours is the one that died).
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			req, err := http.NewRequestWithContext(ctx, http.MethodDelete, owner+"/v1/runs/"+st.ID, nil)
+			if err == nil {
+				req.Header.Set(forwardHeader, s.self)
+				if resp, err := proxyClient.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			cancel()
+			return runStatus{State: string(stateCanceled), Error: "canceled by request"}, nil
+		case <-time.After(proxyPollInterval):
+		}
+		st, code, err = s.proxyRequest(j.ctx, http.MethodGet, owner+"/v1/runs/"+st.ID, nil)
+		if err != nil {
+			return runStatus{}, err
+		}
+		if code != http.StatusOK {
+			return runStatus{}, fmt.Errorf("owner %s lost run %s: status %d", owner, st.ID, code)
+		}
+	}
+	return st, nil
+}
+
+// proxyRequest performs one peer call and decodes the runStatus body.
+func (s *Server) proxyRequest(ctx context.Context, method, url string, body []byte) (runStatus, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return runStatus{}, 0, err
+	}
+	req.Header.Set(forwardHeader, s.self)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := proxyClient.Do(req)
+	if err != nil {
+		return runStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return runStatus{}, 0, err
+	}
+	var st runStatus
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return runStatus{}, 0, fmt.Errorf("decoding peer response: %w", err)
+		}
+	}
+	return st, resp.StatusCode, nil
+}

@@ -1,16 +1,28 @@
 // Package server exposes the simulator as a long-running HTTP service —
 // the "simulation as a service" front door. A daemon accepts simulation
-// jobs (POST /v1/runs with a JSON Config), validates them with typed
-// field errors, canonically hashes them, and executes them on a bounded
-// worker pool that reuses internal/runner's singleflight machinery; an
-// LRU cache keyed on the canonical config hash serves repeated sweeps
-// from memory. Results served over HTTP are byte-identical to a direct
-// in-process system.Run of the same Config.
+// jobs (POST /v1/runs with a JSON Config, or POST /v1/sweeps with an
+// array of them), validates them with typed field errors, canonically
+// hashes them, and executes them on a bounded worker pool that reuses
+// internal/runner's singleflight machinery; a content-addressed result
+// store keyed on the canonical config hash serves repeated sweeps —
+// from memory, and optionally from a persistent directory shared
+// between replicas, so results survive restarts. Results served over
+// HTTP are byte-identical to a direct in-process system.Run of the same
+// Config.
+//
+// Horizontal scale: with a static peer list (Options.Peers/Node), each
+// canonical hash has exactly one owner under rendezvous hashing, and a
+// submission landing on a non-owner is transparently proxied to the
+// owner — N replicas each simulate a disjoint slice of the design space
+// while every replica serves any cached hash. An unreachable owner
+// degrades to local execution, never an error.
 //
 // Production plumbing: per-request run deadlines (?timeout=30s),
 // backpressure (a bounded queue that rejects with 429 when full),
-// graceful shutdown that drains in-flight runs, /healthz, and /metrics
-// exporting the internal/metrics counters in Prometheus text format.
+// graceful shutdown that drains in-flight runs, /healthz (503 while
+// draining, so load balancers stop routing), a bounded terminal-job
+// history, and /metrics exporting the internal/metrics counters in
+// Prometheus text format.
 package server
 
 import (
@@ -20,6 +32,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +42,7 @@ import (
 	"nocstar/internal/experiments"
 	"nocstar/internal/metrics"
 	"nocstar/internal/runner"
+	"nocstar/internal/store"
 	"nocstar/internal/system"
 	"nocstar/internal/workload"
 )
@@ -41,8 +55,35 @@ type Options struct {
 	// QueueDepth bounds jobs accepted but not yet executing; a full
 	// queue rejects submissions with 429 (<= 0 selects 64).
 	QueueDepth int
-	// CacheEntries bounds the LRU result cache (<= 0 selects 128).
+	// CacheEntries bounds the in-memory tier of the result store
+	// (<= 0 selects 128).
 	CacheEntries int
+	// StoreDir, when non-empty, backs the in-memory cache with a
+	// persistent content-addressed store: one <hash>.json blob per
+	// result, written atomically, shareable between replicas via a
+	// common volume. Results survive restarts.
+	StoreDir string
+	// StoreMaxEntries bounds the directory store
+	// (<= 0 selects store.DefaultDirEntries).
+	StoreMaxEntries int
+	// StoreMaxBytes bounds the directory store's payload bytes
+	// (<= 0 leaves it unbounded).
+	StoreMaxBytes int64
+	// Store overrides the result store outright; when set, the
+	// CacheEntries/StoreDir fields are ignored.
+	Store store.Store
+	// JobHistory bounds retained terminal jobs: once more than this
+	// many jobs have reached a terminal state, the oldest are evicted
+	// from the registry (their IDs 404). <= 0 selects 512.
+	JobHistory int
+	// Node and Peers enable consistent-hash work sharding. Peers is the
+	// full static list of replica base URLs (including this node); Node
+	// is this replica's own entry. Each canonical config hash is owned
+	// by exactly one peer under rendezvous (HRW) hashing; submissions
+	// for a hash owned elsewhere are transparently proxied. Empty Peers
+	// disables sharding.
+	Node  string
+	Peers []string
 	// MaxRunDuration caps every run's wall-clock execution, counted
 	// from submission. 0 leaves runs uncapped; requests may always set
 	// a tighter deadline with ?timeout=.
@@ -66,6 +107,9 @@ func (o Options) normalized() Options {
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 128
 	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 512
+	}
 	if o.Shards < 0 {
 		o.Shards = 0
 	}
@@ -74,24 +118,30 @@ func (o Options) normalized() Options {
 
 // serverMetrics are the service-level counters exported by /metrics.
 type serverMetrics struct {
-	requests    *metrics.AtomicCounter
-	submitted   *metrics.AtomicCounter
-	invalid     *metrics.AtomicCounter
-	rejected    *metrics.AtomicCounter
-	deduped     *metrics.AtomicCounter
-	cacheHits   *metrics.AtomicCounter
-	executed    *metrics.AtomicCounter
-	completed   *metrics.AtomicCounter
-	failed      *metrics.AtomicCounter
-	canceledRun *metrics.AtomicCounter
+	requests     *metrics.AtomicCounter
+	submitted    *metrics.AtomicCounter
+	invalid      *metrics.AtomicCounter
+	rejected     *metrics.AtomicCounter
+	deduped      *metrics.AtomicCounter
+	cacheHits    *metrics.AtomicCounter
+	executed     *metrics.AtomicCounter
+	completed    *metrics.AtomicCounter
+	failed       *metrics.AtomicCounter
+	canceledRun  *metrics.AtomicCounter
+	proxied      *metrics.AtomicCounter
+	proxyFallbck *metrics.AtomicCounter
+	sweepConfigs *metrics.AtomicCounter
+	storeErrors  *metrics.AtomicCounter
 }
 
 // Server is the resident simulation service. Create with New, mount
 // Handler on an http.Server, and stop with Shutdown.
 type Server struct {
-	opts Options
-	pool *runner.Runner
-	mux  *http.ServeMux
+	opts  Options
+	pool  *runner.Runner
+	mux   *http.ServeMux
+	peers []string // normalized peer base URLs; empty = unsharded
+	self  string   // this node's entry in peers
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -104,7 +154,7 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string        // job IDs in submission order, for listing
 	inflight map[string]*job // canonical hash -> live (non-terminal) job
-	cache    *lru
+	results  store.Store
 
 	seq     atomic.Uint64
 	running atomic.Int64
@@ -113,38 +163,89 @@ type Server struct {
 	met serverMetrics
 }
 
-// New builds a server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a server and starts its worker pool. It fails when the
+// persistent store directory cannot be opened or the peer list is
+// inconsistent (a non-empty Peers requires Node to be one of its
+// entries).
+func New(opts Options) (*Server, error) {
 	opts = opts.normalized()
+	results := opts.Store
+	if results == nil {
+		mem := store.NewMemory(opts.CacheEntries)
+		if opts.StoreDir != "" {
+			dir, err := store.OpenDir(opts.StoreDir, opts.StoreMaxEntries, opts.StoreMaxBytes)
+			if err != nil {
+				return nil, err
+			}
+			results = store.Tiered(mem, dir)
+		} else {
+			results = mem
+		}
+	}
+	peers, self, err := normalizePeers(opts.Peers, opts.Node)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		opts:     opts,
 		pool:     runner.New(opts.Workers),
+		peers:    peers,
+		self:     self,
 		queue:    make(chan *job, opts.QueueDepth),
 		jobs:     map[string]*job{},
 		inflight: map[string]*job{},
-		cache:    newLRU(opts.CacheEntries),
+		results:  results,
 		reg:      metrics.NewRegistry(),
 	}
 	s.pool.SetShards(opts.Shards)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.met = serverMetrics{
-		requests:    s.reg.AtomicCounter("server.http.requests"),
-		submitted:   s.reg.AtomicCounter("server.runs.submitted"),
-		invalid:     s.reg.AtomicCounter("server.runs.invalid"),
-		rejected:    s.reg.AtomicCounter("server.runs.rejected"),
-		deduped:     s.reg.AtomicCounter("server.runs.deduped"),
-		cacheHits:   s.reg.AtomicCounter("server.cache.hits"),
-		executed:    s.reg.AtomicCounter("server.runs.executed"),
-		completed:   s.reg.AtomicCounter("server.runs.completed"),
-		failed:      s.reg.AtomicCounter("server.runs.failed"),
-		canceledRun: s.reg.AtomicCounter("server.runs.canceled"),
+		requests:     s.reg.AtomicCounter("server.http.requests"),
+		submitted:    s.reg.AtomicCounter("server.runs.submitted"),
+		invalid:      s.reg.AtomicCounter("server.runs.invalid"),
+		rejected:     s.reg.AtomicCounter("server.runs.rejected"),
+		deduped:      s.reg.AtomicCounter("server.runs.deduped"),
+		cacheHits:    s.reg.AtomicCounter("server.cache.hits"),
+		executed:     s.reg.AtomicCounter("server.runs.executed"),
+		completed:    s.reg.AtomicCounter("server.runs.completed"),
+		failed:       s.reg.AtomicCounter("server.runs.failed"),
+		canceledRun:  s.reg.AtomicCounter("server.runs.canceled"),
+		proxied:      s.reg.AtomicCounter("server.runs.proxied"),
+		proxyFallbck: s.reg.AtomicCounter("server.proxy.fallback"),
+		sweepConfigs: s.reg.AtomicCounter("server.sweep.configs"),
+		storeErrors:  s.reg.AtomicCounter("server.store.errors"),
 	}
 	s.routes()
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// normalizePeers canonicalizes the static peer list (trailing slashes
+// trimmed, empties dropped) and locates this node's own entry.
+func normalizePeers(peers []string, node string) ([]string, string, error) {
+	var out []string
+	for _, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, "", nil
+	}
+	self := strings.TrimRight(strings.TrimSpace(node), "/")
+	if self == "" {
+		return nil, "", fmt.Errorf("server: -peers requires -node (this replica's own peer entry)")
+	}
+	for _, p := range out {
+		if p == self {
+			return out, self, nil
+		}
+	}
+	return nil, "", fmt.Errorf("server: node %q is not in the peer list %v", self, out)
 }
 
 // Handler returns the service's HTTP handler.
@@ -162,6 +263,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -169,10 +271,10 @@ func (s *Server) routes() {
 }
 
 // Shutdown gracefully stops the server: submissions are refused with
-// 503, queued and running jobs drain to completion, and the worker pool
-// exits. If ctx expires first, every remaining run is canceled (they
-// stop at the next context-poll stride) and Shutdown returns ctx's
-// error once the pool exits.
+// 503, queued and running jobs (including proxied ones) drain to
+// completion, and the worker pool exits. If ctx expires first, every
+// remaining run is canceled (they stop at the next context-poll stride)
+// and Shutdown returns ctx's error once the pool exits.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -205,9 +307,23 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job through the shared runner pool.
+// runJob executes one job through the shared runner pool. A job already
+// terminal — canceled while it waited in the queue — is only
+// deregistered, never executed: its context is dead, and running it
+// would park a stale singleflight call in the runner that a fresh
+// resubmission could join.
 func (s *Server) runJob(j *job) {
+	if j.terminal() {
+		s.unregisterInflight(j)
+		return
+	}
 	j.setState(stateRunning, nil, "")
+	s.execJob(j)
+}
+
+// execJob runs j's config on the pool and finishes the job. It is the
+// local-execution tail shared by queue workers and the proxy fallback.
+func (s *Server) execJob(j *job) {
 	s.running.Add(1)
 	s.met.executed.Inc()
 	res, err := s.pool.SubmitContext(j.ctx, j.cfg).Result()
@@ -229,16 +345,19 @@ func (s *Server) runJob(j *job) {
 	default:
 		state, msg = stateFailed, err.Error()
 	}
+	s.finishJob(j, state, result, msg)
+}
 
-	s.mu.Lock()
-	if s.inflight[j.hash] == j {
-		delete(s.inflight, j.hash)
-	}
+// finishJob moves j to a terminal state: it leaves the singleflight
+// registry, a done result enters the content-addressed store, and the
+// outcome counters advance.
+func (s *Server) finishJob(j *job, state jobState, result json.RawMessage, msg string) {
+	s.unregisterInflight(j)
 	if state == stateDone {
-		s.cache.add(j.hash, result)
+		if err := s.results.Put(j.hash, result); err != nil {
+			s.met.storeErrors.Inc()
+		}
 	}
-	s.mu.Unlock()
-
 	j.setState(state, result, msg)
 	switch state {
 	case stateDone:
@@ -248,6 +367,16 @@ func (s *Server) runJob(j *job) {
 	default:
 		s.met.failed.Inc()
 	}
+}
+
+// unregisterInflight removes j from the singleflight registry if it is
+// still the registered entry for its hash.
+func (s *Server) unregisterInflight(j *job) {
+	s.mu.Lock()
+	if s.inflight[j.hash] == j {
+		delete(s.inflight, j.hash)
+	}
+	s.mu.Unlock()
 }
 
 // newJob constructs a job (not yet registered) with its execution
@@ -260,6 +389,7 @@ func (s *Server) newJob(hash string, cfg system.Config, timeout time.Duration) *
 		done:  make(chan struct{}),
 		state: stateQueued,
 	}
+	j.timeout = timeout
 	if timeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
 	} else {
@@ -273,6 +403,113 @@ func (s *Server) newJob(hash string, cfg system.Config, timeout time.Duration) *
 type submitError struct {
 	Error  string              `json:"error"`
 	Fields []system.FieldError `json:"fields,omitempty"`
+}
+
+// Sentinel outcomes of acquire, mapped to HTTP statuses by handlers.
+var (
+	errDraining  = errors.New("server is shutting down")
+	errQueueFull = errors.New("queue full")
+)
+
+// acquisition says how acquire resolved a config to a job.
+type acquisition int
+
+const (
+	// acqCached: the result store had the hash; the job is born done.
+	acqCached acquisition = iota
+	// acqJoined: an identical live job absorbed the submission.
+	acqJoined
+	// acqQueued: a fresh job entered the bounded queue.
+	acqQueued
+	// acqProxied: the hash is owned by a peer; a proxy job mirrors the
+	// remote execution.
+	acqProxied
+)
+
+// acquire resolves a validated config to a job: a store hit is born
+// done, an identical live job is joined, a hash owned by a peer is
+// transparently proxied (unless the request was already forwarded by a
+// peer — forwarded requests always resolve locally, which bounds any
+// proxy chain at one hop), and otherwise a fresh job enters the bounded
+// queue. The returned errors are errDraining and errQueueFull.
+func (s *Server) acquire(cfg system.Config, hash string, timeout time.Duration, forwarded bool) (*job, acquisition, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, 0, errDraining
+	}
+	s.mu.Unlock()
+
+	// Result store: a config already simulated — by this process, a
+	// previous incarnation of it, or a replica sharing the store — is
+	// served as a job born in the done state. The store read happens
+	// outside s.mu (it may touch disk); a racing identical submission
+	// is resolved by the singleflight check below.
+	if cached, ok := s.results.Get(hash); ok {
+		j := s.newJob(hash, cfg, 0)
+		j.state = stateDone
+		j.cached = true
+		j.result = cached
+		close(j.done)
+		j.cancel()
+		s.mu.Lock()
+		s.registerLocked(j)
+		s.mu.Unlock()
+		s.met.cacheHits.Inc()
+		return j, acqCached, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, 0, errDraining
+	}
+	// Singleflight: an identical config already queued, running, or
+	// proxied is joined, not re-simulated.
+	if live, ok := s.inflight[hash]; ok {
+		s.met.deduped.Inc()
+		return live, acqJoined, nil
+	}
+	if owner := s.owner(hash); owner != "" && !forwarded {
+		j := s.newJob(hash, cfg, timeout)
+		s.registerLocked(j)
+		s.inflight[hash] = j
+		s.met.proxied.Inc()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.proxyJob(j, owner)
+		}()
+		return j, acqProxied, nil
+	}
+	j := s.newJob(hash, cfg, timeout)
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel()
+		s.met.rejected.Inc()
+		return nil, 0, errQueueFull
+	}
+	s.registerLocked(j)
+	s.inflight[hash] = j
+	s.met.submitted.Inc()
+	return j, acqQueued, nil
+}
+
+// parseTimeout resolves the effective run deadline from the server cap
+// and the request's ?timeout= override.
+func (s *Server) parseTimeout(r *http.Request) (time.Duration, error) {
+	timeout := s.opts.MaxRunDuration
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("bad timeout %q: want a positive Go duration like 30s", tq)
+		}
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	return timeout, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -305,73 +542,68 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
 		return
 	}
-	timeout := s.opts.MaxRunDuration
-	if tq := r.URL.Query().Get("timeout"); tq != "" {
-		d, err := time.ParseDuration(tq)
-		if err != nil || d <= 0 {
-			writeJSON(w, http.StatusBadRequest, submitError{
-				Error: fmt.Sprintf("bad timeout %q: want a positive Go duration like 30s", tq)})
-			return
-		}
-		if timeout == 0 || d < timeout {
-			timeout = d
-		}
+	timeout, err := s.parseTimeout(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		return
 	}
 
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	j, how, err := s.acquire(cfg, hash, timeout, isForwarded(r))
+	switch {
+	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, submitError{Error: "server is shutting down"})
 		return
-	}
-	// Result cache: a config already simulated is served from memory,
-	// as a job born in the done state.
-	if cached, ok := s.cache.get(hash); ok {
-		j := s.newJob(hash, cfg, 0)
-		j.state = stateDone
-		j.cached = true
-		j.result = cached
-		close(j.done)
-		j.cancel()
-		s.registerLocked(j)
-		s.mu.Unlock()
-		s.met.cacheHits.Inc()
-		writeJSON(w, http.StatusOK, j.status(true))
-		return
-	}
-	// Singleflight: an identical config already queued or running is
-	// joined, not re-simulated.
-	if live, ok := s.inflight[hash]; ok {
-		s.mu.Unlock()
-		s.met.deduped.Inc()
-		st := live.status(false)
-		st.Deduped = true
-		writeJSON(w, http.StatusAccepted, st)
-		return
-	}
-	j := s.newJob(hash, cfg, timeout)
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		j.cancel()
-		s.met.rejected.Inc()
+	case errors.Is(err, errQueueFull):
 		writeJSON(w, http.StatusTooManyRequests, submitError{
 			Error: fmt.Sprintf("queue full (%d jobs waiting); retry later", s.opts.QueueDepth)})
 		return
 	}
-	s.registerLocked(j)
-	s.inflight[hash] = j
-	s.mu.Unlock()
-	s.met.submitted.Inc()
-	w.Header().Set("Location", "/v1/runs/"+j.id)
-	writeJSON(w, http.StatusAccepted, j.status(false))
+	switch how {
+	case acqCached:
+		writeJSON(w, http.StatusOK, j.status(true))
+	case acqJoined:
+		st := j.status(false)
+		st.Deduped = true
+		writeJSON(w, http.StatusAccepted, st)
+	default: // queued or proxied
+		w.Header().Set("Location", "/v1/runs/"+j.id)
+		writeJSON(w, http.StatusAccepted, j.status(false))
+	}
 }
 
-// registerLocked records a job in the ID index. Caller holds s.mu.
+// registerLocked records a job in the ID index and prunes the terminal
+// history. Caller holds s.mu.
 func (s *Server) registerLocked(j *job) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.pruneLocked()
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond Options.JobHistory
+// so sweep-replay traffic (every cache hit registers a born-done job)
+// cannot grow the registry without bound. Live jobs are never evicted.
+// Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].terminal() {
+			terminal++
+		}
+	}
+	excess := terminal - s.opts.JobHistory
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 func (s *Server) lookup(id string) (*job, bool) {
@@ -411,6 +643,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// RunContext poll promptly, so resolve it here; runJob's terminal
 	// setState is a no-op if the worker picks it up concurrently.
 	j.setState(stateCanceled, nil, "canceled by request")
+	// The canceled job must stop absorbing identical submissions
+	// immediately: left registered, a resubmission of the same config
+	// would be deduped onto a dead job and see "canceled" for a run it
+	// never canceled.
+	s.unregisterInflight(j)
 	writeJSON(w, http.StatusOK, j.status(false))
 }
 
@@ -431,7 +668,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	ch, cur := j.subscribe()
 	defer j.unsubscribe(ch)
-	writeEvent(w, cur)
+	if writeEvent(w, cur) != nil {
+		return
+	}
 	flusher.Flush()
 	if jobState(cur.State).terminal() {
 		return
@@ -439,7 +678,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case ev := <-ch:
-			writeEvent(w, ev)
+			if writeEvent(w, ev) != nil {
+				return
+			}
 			flusher.Flush()
 			if jobState(ev.State).terminal() {
 				return
@@ -454,10 +695,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeEvent emits one SSE frame.
-func writeEvent(w io.Writer, ev jobEvent) {
-	b, _ := json.Marshal(ev)
-	fmt.Fprintf(w, "event: state\ndata: %s\n\n", b)
+// writeEvent emits one SSE frame, reporting marshal and write failures
+// so callers terminate the stream instead of silently dropping frames.
+func writeEvent(w io.Writer, ev jobEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("marshaling event: %w", err)
+	}
+	_, err = fmt.Fprintf(w, "event: state\ndata: %s\n\n", b)
+	return err
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -472,20 +718,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	jobs := len(s.jobs)
-	cached := s.cache.len()
 	s.mu.Unlock()
-	status := "ok"
+	status, code := "ok", http.StatusOK
 	if draining {
-		status = "draining"
+		// A draining node 503s every submission; it must fail its
+		// health check too, or load balancers keep routing to it.
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, code, map[string]any{
 		"status":    status,
 		"workers":   s.opts.Workers,
 		"running":   s.running.Load(),
 		"queued":    len(s.queue),
 		"queue_cap": s.opts.QueueDepth,
 		"jobs":      jobs,
-		"cached":    cached,
+		"cached":    s.results.Len(),
+		"node":      s.self,
+		"peers":     len(s.peers),
 	})
 }
 

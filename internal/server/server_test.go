@@ -38,7 +38,10 @@ func endlessConfig(seed int64) string {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(opts)
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -400,10 +403,146 @@ func TestReadEndpoints(t *testing.T) {
 	}
 }
 
+// TestCancelQueuedThenResubmit is the regression test for the stale
+// singleflight entry: canceling a job still waiting in the queue must
+// deregister its hash immediately, so an identical resubmission gets a
+// fresh execution instead of being deduped onto the dead job and told
+// "canceled" for a run it never canceled.
+func TestCancelQueuedThenResubmit(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	// Occupy the single worker so the next submission stays queued.
+	code, blocker := postRun(t, ts.URL, endlessConfig(20))
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker submit: status %d", code)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	victim := smallConfig(21)
+	code, queued := postRun(t, ts.URL, victim)
+	if code != http.StatusAccepted {
+		t.Fatalf("victim submit: status %d", code)
+	}
+	// Cancel it while queued.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	// Resubmit the identical config: must be a fresh job, not a dedup
+	// onto the canceled one.
+	code, fresh := postRun(t, ts.URL, victim)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if fresh.Deduped {
+		t.Fatal("resubmission was deduped onto a canceled job")
+	}
+	if fresh.ID == queued.ID {
+		t.Fatalf("resubmission returned the canceled job %s", fresh.ID)
+	}
+
+	// Free the worker; the fresh job must execute to done for real.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+blocker.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	final := pollUntilTerminal(t, ts.URL, fresh.ID)
+	if final.State != string(stateDone) {
+		t.Fatalf("resubmitted run ended %s: %s", final.State, final.Error)
+	}
+	if len(final.Result) == 0 {
+		t.Fatal("resubmitted run has no result")
+	}
+}
+
+// TestTerminalJobHistoryBounded is the regression test for unbounded
+// registry growth: under sweep-replay traffic (every cache hit used to
+// register a job forever), the registry must stay within the terminal
+// history cap.
+func TestTerminalJobHistoryBounded(t *testing.T) {
+	const histCap = 8
+	srv, ts := newTestServer(t, Options{Workers: 1, JobHistory: histCap})
+	body := smallConfig(30)
+
+	code, st := postRun(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if final := pollUntilTerminal(t, ts.URL, st.ID); final.State != string(stateDone) {
+		t.Fatalf("run ended %s: %s", final.State, final.Error)
+	}
+
+	// 10x the cap in cache-hit submissions.
+	for i := 0; i < 10*histCap; i++ {
+		code, hit := postRun(t, ts.URL, body)
+		if code != http.StatusOK || !hit.Cached {
+			t.Fatalf("submission %d: status %d cached=%v", i, code, hit.Cached)
+		}
+	}
+
+	srv.mu.Lock()
+	jobs, order := len(srv.jobs), len(srv.order)
+	srv.mu.Unlock()
+	if jobs > histCap || order > histCap {
+		t.Fatalf("registry grew to %d jobs / %d order entries, cap %d", jobs, order, histCap)
+	}
+	if jobs == 0 {
+		t.Fatal("history pruned everything")
+	}
+}
+
+// TestHealthDraining is the regression test for the load-balancer trap:
+// a draining node must fail its health check (503), not report 200 with
+// a body the balancer never reads.
+func TestHealthDraining(t *testing.T) {
+	srv, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy node: status %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining node: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"status":"draining"`) {
+		t.Fatalf("draining body: %s", body)
+	}
+}
+
 // TestShutdownDrains checks graceful shutdown finishes in-flight work
 // and then refuses new submissions with 503.
 func TestShutdownDrains(t *testing.T) {
-	srv := New(Options{Workers: 1})
+	srv, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nocstar/internal/system"
+)
+
+// POST /v1/sweeps accepts a JSON array of configs — a whole design-space
+// sweep in one request — validates every element up front (any invalid
+// config fails the whole batch with a 400 naming its index, before a
+// byte of the stream is committed), then fans the batch through the
+// same acquire path as single submissions: store hits are served
+// instantly, duplicates singleflight, peer-owned hashes proxy, the rest
+// flow through the bounded queue (a full queue backpressures the sweep
+// instead of rejecting it). Results stream back as SSE "result" events
+// in completion order, each embedding the raw marshaled Result —
+// byte-identical to a direct system.Run — and a terminal "summary"
+// event closes the stream.
+
+// maxSweepConfigs bounds one sweep request; larger design spaces are
+// split by the client.
+const maxSweepConfigs = 4096
+
+// sweepResult is one SSE "result" frame: the terminal status of the
+// sweep element at Index.
+type sweepResult struct {
+	Index      int             `json:"index"`
+	ID         string          `json:"id"`
+	ConfigHash string          `json:"config_hash"`
+	State      string          `json:"state"`
+	Cached     bool            `json:"cached,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// sweepSummary is the terminal SSE "summary" frame.
+type sweepSummary struct {
+	Total     int `json:"total"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	CacheHits int `json:"cache_hits"`
+	// Unsubmitted counts configs never acquired: the server began
+	// draining, or the client went away, mid-sweep.
+	Unsubmitted int `json:"unsubmitted,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+	var raws []json.RawMessage
+	if err := json.Unmarshal(body, &raws); err != nil {
+		writeJSON(w, http.StatusBadRequest, submitError{Error: "want a JSON array of config objects"})
+		return
+	}
+	if len(raws) == 0 {
+		writeJSON(w, http.StatusBadRequest, submitError{Error: "empty sweep"})
+		return
+	}
+	if len(raws) > maxSweepConfigs {
+		writeJSON(w, http.StatusBadRequest, submitError{
+			Error: fmt.Sprintf("sweep of %d configs exceeds the %d-config limit", len(raws), maxSweepConfigs)})
+		return
+	}
+	timeout, err := s.parseTimeout(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		return
+	}
+	// Validate the whole batch before committing the response status:
+	// SSE cannot report a 400 once streaming has begun.
+	cfgs := make([]system.Config, len(raws))
+	hashes := make([]string, len(raws))
+	for i, raw := range raws {
+		cfg, err := system.UnmarshalConfig(raw)
+		if err != nil {
+			s.met.invalid.Inc()
+			writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("config[%d]: %v", i, err)})
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			s.met.invalid.Inc()
+			resp := submitError{Error: fmt.Sprintf("config[%d]: invalid", i)}
+			var ve *system.ValidationError
+			if errors.As(err, &ve) {
+				resp.Fields = ve.Fields
+			} else {
+				resp.Error = fmt.Sprintf("config[%d]: %v", i, err)
+			}
+			writeJSON(w, http.StatusBadRequest, resp)
+			return
+		}
+		hash, err := cfg.CanonicalHash()
+		if err != nil {
+			s.met.invalid.Inc()
+			writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("config[%d]: %v", i, err)})
+			return
+		}
+		cfgs[i], hashes[i] = cfg, hash
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, submitError{Error: "streaming unsupported"})
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	forwarded := isForwarded(r)
+	s.met.sweepConfigs.Add(uint64(len(cfgs)))
+
+	// Acquire every config. A full queue backpressures (retry until a
+	// slot frees) rather than failing the sweep; draining or a gone
+	// client abandons the remainder.
+	jobs := make([]*job, len(cfgs))
+	summary := sweepSummary{Total: len(cfgs)}
+acquire:
+	for i := range cfgs {
+		for {
+			j, how, err := s.acquire(cfgs[i], hashes[i], timeout, forwarded)
+			switch {
+			case err == nil:
+				jobs[i] = j
+				if how == acqCached {
+					summary.CacheHits++
+				}
+			case errors.Is(err, errQueueFull):
+				select {
+				case <-time.After(10 * time.Millisecond):
+					continue
+				case <-r.Context().Done():
+					break acquire
+				}
+			default: // draining
+				break acquire
+			}
+			break
+		}
+	}
+
+	// Stream terminal results in completion order.
+	completed := make(chan int, len(jobs))
+	watching := 0
+	for i, j := range jobs {
+		if j == nil {
+			summary.Unsubmitted++
+			continue
+		}
+		watching++
+		go func(i int, done <-chan struct{}) {
+			select {
+			case <-done:
+				completed <- i
+			case <-r.Context().Done():
+			}
+		}(i, j.done)
+	}
+stream:
+	for n := 0; n < watching; n++ {
+		select {
+		case i := <-completed:
+			st := jobs[i].status(true)
+			switch jobState(st.State) {
+			case stateDone:
+				summary.Done++
+			case stateCanceled:
+				summary.Canceled++
+			default:
+				summary.Failed++
+			}
+			ev := sweepResult{
+				Index:      i,
+				ID:         st.ID,
+				ConfigHash: st.ConfigHash,
+				State:      st.State,
+				Cached:     st.Cached,
+				Error:      st.Error,
+				Result:     st.Result,
+			}
+			if writeSSE(w, "result", ev) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			break stream
+		}
+	}
+	writeSSE(w, "summary", summary)
+	flusher.Flush()
+}
+
+// writeSSE emits one named SSE frame, reporting marshal and write
+// failures so the stream terminates instead of silently dropping data.
+func writeSSE(w io.Writer, event string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("marshaling %s event: %w", event, err)
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}

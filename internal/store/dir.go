@@ -1,0 +1,224 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Dir is a persistent content-addressed store: one "<hash>.json" blob
+// per result under a single directory. Writes go to a temp file in the
+// same directory and are renamed into place, so a reader — including a
+// different server replica sharing the directory over a common volume —
+// either sees the whole blob or none of it, never a torn write. Blobs
+// are immutable, so there is no overwrite path to race on.
+//
+// An in-memory index tracks recency for LRU eviction under entry and
+// byte bounds; Opening a directory rebuilds the index from the blobs on
+// disk (ordered by modification time), which is how results survive
+// restarts. A Get for a hash absent from the index still probes the
+// disk, so blobs written by another replica are found and adopted.
+type Dir struct {
+	dir        string
+	maxEntries int
+	maxBytes   int64 // 0 = unbounded
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+}
+
+type dirEntry struct {
+	key  string
+	size int64
+}
+
+// DefaultDirEntries bounds a directory store when OpenDir is given a
+// non-positive entry cap.
+const DefaultDirEntries = 4096
+
+// OpenDir opens (creating if needed) a directory store bounded to
+// maxEntries blobs (<= 0 selects DefaultDirEntries) and maxBytes total
+// payload (<= 0 leaves size unbounded). Existing blobs are indexed by
+// modification time so eviction order survives restarts approximately.
+func OpenDir(dir string, maxEntries int, maxBytes int64) (*Dir, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultDirEntries
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	d := &Dir{
+		dir:        dir,
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		items:      make(map[string]*list.Element),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	type onDisk struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var found []onDisk
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".json")
+		if !validHash(key) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, f := range found { // oldest first, so the newest ends up MRU
+		d.items[f.key] = d.order.PushFront(&dirEntry{key: f.key, size: f.size})
+		d.bytes += f.size
+	}
+	d.mu.Lock()
+	d.evictLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+// Path returns the directory backing the store.
+func (d *Dir) Path() string { return d.dir }
+
+func (d *Dir) blobPath(hash string) string {
+	return filepath.Join(d.dir, hash+".json")
+}
+
+// validHash accepts only lowercase-hex content hashes (what
+// Config.CanonicalHash emits), which doubles as the path-traversal
+// guard: a key can never escape the store directory or collide with
+// the temp-file prefix.
+func validHash(h string) bool {
+	if len(h) < 4 || len(h) > 128 {
+		return false
+	}
+	for _, c := range h {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the blob stored under hash. Index misses probe the disk
+// so blobs written by other replicas sharing the directory are adopted;
+// index hits whose file vanished (evicted by another replica) are
+// dropped and miss.
+func (d *Dir) Get(hash string) ([]byte, bool) {
+	if !validHash(hash) {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, err := os.ReadFile(d.blobPath(hash))
+	el, indexed := d.items[hash]
+	if err != nil {
+		if indexed {
+			d.bytes -= el.Value.(*dirEntry).size
+			d.order.Remove(el)
+			delete(d.items, hash)
+		}
+		return nil, false
+	}
+	if indexed {
+		ent := el.Value.(*dirEntry)
+		d.bytes += int64(len(b)) - ent.size
+		ent.size = int64(len(b))
+		d.order.MoveToFront(el)
+	} else {
+		d.items[hash] = d.order.PushFront(&dirEntry{key: hash, size: int64(len(b))})
+		d.bytes += int64(len(b))
+		d.evictLocked()
+	}
+	return b, true
+}
+
+// Put stores result under hash with an atomic temp-write + rename. A
+// hash already present only has its recency refreshed (blobs are
+// immutable). Eviction of least-recently-used blobs keeps the store
+// within its entry and byte bounds.
+func (d *Dir) Put(hash string, result []byte) error {
+	if !validHash(hash) {
+		return fmt.Errorf("store: invalid content hash %q", hash)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.items[hash]; ok {
+		d.order.MoveToFront(el)
+		return nil
+	}
+	tmp, err := os.CreateTemp(d.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	if _, err := tmp.Write(result); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: closing blob: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.blobPath(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publishing blob: %w", err)
+	}
+	d.items[hash] = d.order.PushFront(&dirEntry{key: hash, size: int64(len(result))})
+	d.bytes += int64(len(result))
+	d.evictLocked()
+	return nil
+}
+
+// evictLocked removes least-recently-used blobs (index entry and file)
+// until the store fits its bounds. A single blob larger than the byte
+// bound is kept — an empty store would just re-admit it. Caller holds
+// d.mu.
+func (d *Dir) evictLocked() {
+	for d.order.Len() > 0 {
+		overEntries := d.order.Len() > d.maxEntries
+		overBytes := d.maxBytes > 0 && d.bytes > d.maxBytes && d.order.Len() > 1
+		if !overEntries && !overBytes {
+			return
+		}
+		last := d.order.Back()
+		ent := last.Value.(*dirEntry)
+		d.order.Remove(last)
+		delete(d.items, ent.key)
+		d.bytes -= ent.size
+		os.Remove(d.blobPath(ent.key))
+	}
+}
+
+// Len reports the number of indexed blobs.
+func (d *Dir) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.order.Len()
+}
+
+// Bytes reports the indexed payload size.
+func (d *Dir) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}

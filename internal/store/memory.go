@@ -1,0 +1,71 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is a fixed-capacity least-recently-used in-process store. It
+// amortizes the repeated-query pattern of paper sweeps: re-submitting a
+// config already simulated serves the cached bytes instead of
+// re-running. A capacity <= 0 disables the store (every Get misses).
+type Memory struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// NewMemory returns an LRU store bounded to capacity entries.
+func NewMemory(capacity int) *Memory {
+	return &Memory{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the stored value and marks it most recently used.
+func (c *Memory) Get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when over capacity. It never fails.
+func (c *Memory) Put(key string, val []byte) error {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*memEntry).val = val
+		c.order.MoveToFront(el)
+		return nil
+	}
+	c.items[key] = c.order.PushFront(&memEntry{key: key, val: val})
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*memEntry).key)
+	}
+	return nil
+}
+
+// Len reports the number of stored entries.
+func (c *Memory) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all help build fmt vet staticcheck test race bench bench-engine bench-json bench-json-smoke bench-compare alloc check fuzz smoke serve-smoke serve-cluster-smoke sharded profile ci clean
+.PHONY: all help build fmt vet staticcheck test race bench bench-engine bench-json bench-json-smoke bench-compare alloc check fuzz smoke serve-smoke serve-cluster-smoke sharded placement profile ci clean
 
 all: build vet test
 
@@ -20,8 +20,9 @@ help:
 	@echo "  serve-smoke  HTTP service smoke: submit/poll/cache/sweep/persistent-store over a loopback listener"
 	@echo "  serve-cluster-smoke  two-node consistent-hash smoke: exactly-once execution, cross-node cache serving"
 	@echo "  sharded      partitioned-engine determinism gate: K-identity, golden event order, report matrix, -race storm"
+	@echo "  placement    fabric/placement gate: topology contract, annealed determinism, placement report matrix"
 	@echo "  profile      CPU/heap profiles of the Table III sweep"
-	@echo "  ci           build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke serve-cluster-smoke"
+	@echo "  ci           build fmt vet staticcheck race bench bench-json-smoke alloc check sharded placement smoke serve-smoke serve-cluster-smoke"
 
 build:
 	$(GO) build ./...
@@ -142,6 +143,18 @@ sharded:
 	$(GO) test -count 1 -run 'TestReportShardMatrix' ./cmd/nocstar-exp/
 	$(GO) test -race -count 1 -run 'TestShardedStormContention' ./internal/system/
 
+# The fabric/placement gate: the Topology interface contract (symmetry,
+# zero diagonal, the MinHops lookahead bound), annealed-placement
+# determinism (identical mapping and identical Result for a fixed seed),
+# K-identity of every topology and placement under the partitioned
+# engine, cache-key distinctness of the placement knobs, and the
+# end-to-end placement report matrix through the nocstar-exp binary.
+placement:
+	$(GO) test -count 1 -run 'TestTopologyContract|TestTopologyGoldenHops|TestGridForProperty' ./internal/noc/
+	$(GO) test -count 1 ./internal/place/
+	$(GO) test -count 1 -run 'TestBankNodesWithinCores|TestTopologyShardIdentity|TestPlacementShardIdentity|TestPlacementDeterminism|TestPlacementKeyDistinctness' ./internal/system/
+	$(GO) test -count 1 -run 'TestReportPlacementMatrix' ./cmd/nocstar-exp/
+
 # CPU and heap profiles of the heavyweight Table III sweep, written to
 # ./profiles/ for `go tool pprof` (see EXPERIMENTS.md "Allocation-free
 # critical path" for the recorded baselines).
@@ -152,7 +165,7 @@ profile:
 		-o profiles/nocstar.test .
 	@echo "inspect with: go tool pprof -top profiles/nocstar.test profiles/cpu.out"
 
-ci: build fmt vet staticcheck race bench bench-json-smoke alloc check sharded smoke serve-smoke serve-cluster-smoke
+ci: build fmt vet staticcheck race bench bench-json-smoke alloc check sharded placement smoke serve-smoke serve-cluster-smoke
 
 clean:
 	$(GO) clean ./...

@@ -22,6 +22,8 @@ import (
 
 	"nocstar/internal/experiments"
 	"nocstar/internal/metrics"
+	"nocstar/internal/noc"
+	"nocstar/internal/place"
 	"nocstar/internal/runner"
 	"nocstar/internal/system"
 	"nocstar/internal/workload"
@@ -40,6 +42,9 @@ func main() {
 		trace      = flag.String("trace", "", "write a Chrome trace_event JSON of one representative run to this file (view in chrome://tracing or ui.perfetto.dev)")
 		parallel   = flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS); output is byte-identical at any setting")
 		shards     = flag.Int("shards", 0, "worker goroutines inside each shardable run (Private/DistributedMesh orgs; 0 = legacy single-engine); results are byte-identical at any positive setting, and -j defaults to GOMAXPROCS/shards")
+		topology   = flag.String("topology", "", "fabric topology for mesh-routed organizations: "+strings.Join(noc.TopologyTokens(), ", "))
+		placement  = flag.String("placement", "", "slice-placement strategy for sliced organizations: "+strings.Join(place.Tokens(), ", "))
+		placeSeed  = flag.Int64("placement-seed", 0, "seed for the seeded placement strategies (0 = the simulation seed)")
 		quiet      = flag.Bool("quiet", false, "suppress the progress line on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (use -j 1 for a single-simulation view)")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
@@ -65,7 +70,25 @@ func main() {
 	}
 
 	opts := experiments.Options{Instr: *instr, Seed: *seed, Combos: *combos,
-		Parallelism: *parallel, Shards: *shards}
+		Parallelism: *parallel, Shards: *shards, PlacementSeed: *placeSeed}
+	if *topology != "" {
+		kind, ok := noc.ParseTopologyKind(*topology)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad -topology value %q (have %s)\n",
+				*topology, strings.Join(noc.TopologyTokens(), ", "))
+			os.Exit(2)
+		}
+		opts.Topology = kind
+	}
+	if *placement != "" {
+		strat, ok := place.ParseStrategy(*placement)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad -placement value %q (have %s)\n",
+				*placement, strings.Join(place.Tokens(), ", "))
+			os.Exit(2)
+		}
+		opts.Placement = strat
+	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}

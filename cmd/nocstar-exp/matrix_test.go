@@ -67,3 +67,55 @@ func TestReportShardMatrix(t *testing.T) {
 		t.Fatal("empty report")
 	}
 }
+
+// TestReportPlacementMatrix extends the byte-identity gate to the fabric
+// layer: the placement experiment — every topology crossed with every
+// placement strategy on the distributed organization — must write the
+// identical -report JSON at every (-shards, -j) corner. One cell per
+// fabric runs end-to-end here, covering the acceptance matrix for the
+// pluggable topologies under the partitioned engine.
+func TestReportPlacementMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the nocstar-exp binary")
+	}
+	bin := filepath.Join(t.TempDir(), "nocstar-exp")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	type cell struct{ shards, j int }
+	cells := []cell{{1, 1}, {2, 4}, {4, 1}}
+
+	var golden []byte
+	for _, c := range cells {
+		report := filepath.Join(t.TempDir(), "report.json")
+		cmd := exec.Command(bin,
+			"-instr", "1500",
+			"-cores", "16",
+			"-workloads", "gups",
+			"-shards", strconv.Itoa(c.shards),
+			"-j", strconv.Itoa(c.j),
+			"-quiet",
+			"-report", report,
+			"placement")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("shards=%d j=%d: %v\n%s", c.shards, c.j, err, out)
+		}
+		got, err := os.ReadFile(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = got
+			continue
+		}
+		if !bytes.Equal(golden, got) {
+			t.Fatalf("shards=%d j=%d placement report diverges from shards=%d j=%d (%d vs %d bytes)",
+				c.shards, c.j, cells[0].shards, cells[0].j, len(got), len(golden))
+		}
+	}
+	if len(golden) == 0 {
+		t.Fatal("empty report")
+	}
+}

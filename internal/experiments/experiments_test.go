@@ -409,8 +409,8 @@ func TestTable1Render(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 25 {
-		t.Fatalf("registry has %d entries, want 25", len(reg))
+	if len(reg) != 26 {
+		t.Fatalf("registry has %d entries, want 26", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nocstar/internal/noc"
+	"nocstar/internal/place"
+	"nocstar/internal/runner"
+	"nocstar/internal/stats"
+	"nocstar/internal/system"
+)
+
+// PlacementRow is one (fabric, strategy) cell of the placement study.
+type PlacementRow struct {
+	// Topology and Strategy are the wire names of the fabric and the
+	// placement that produced the row.
+	Topology string `json:"topology"`
+	Strategy string `json:"strategy"`
+	// PredictedHops is the optimizer's own objective: the traffic-weighted
+	// mean hop distance of the chosen mapping under the fabric (computed
+	// from the sampled demand matrix, before any simulation).
+	PredictedHops float64 `json:"predicted_hops"`
+	// Cycles is the measured end-to-end run length.
+	Cycles uint64 `json:"cycles"`
+	// Speedup is measured against the same fabric's row-major run.
+	Speedup float64 `json:"speedup_vs_row_major"`
+}
+
+// PlacementResult is the slice-placement study: for each fabric
+// topology, how much the searchable placements recover versus the
+// paper's fixed row-major mapping.
+type PlacementResult struct {
+	Workload   string         `json:"workload"`
+	Cores      int            `json:"cores"`
+	Strategies []string       `json:"strategies"`
+	Rows       []PlacementRow `json:"rows"`
+}
+
+// Render prints one row per (topology, strategy).
+func (r PlacementResult) Render() string {
+	t := stats.NewTable(fmt.Sprintf(
+		"Slice placement vs fabric topology (%s, %d cores, distributed)", r.Workload, r.Cores))
+	t.Row("topology", "placement", "pred-hops", "cycles", "speedup-vs-row-major")
+	for _, row := range r.Rows {
+		t.Row(row.Topology, row.Strategy,
+			fmt.Sprintf("%.3f", row.PredictedHops), row.Cycles,
+			fmt.Sprintf("%.3f", row.Speedup))
+	}
+	return t.String()
+}
+
+// Speedup returns one cell's measured speedup (1.0 for missing cells).
+func (r PlacementResult) Speedup(topology, strategy string) float64 {
+	for _, row := range r.Rows {
+		if row.Topology == topology && row.Strategy == strategy {
+			return row.Speedup
+		}
+	}
+	return 1
+}
+
+// placementCores returns the study's core count: the first configured
+// count, defaulting to the 256-core chip where placement distances are
+// large enough to matter (the usual 16-64 sweep is too small to
+// separate the strategies).
+func (o Options) placementCores() int {
+	if len(o.CoreCounts) > 0 {
+		return o.CoreCounts[0]
+	}
+	return 256
+}
+
+// Placement runs the placement study: the distributed organization on
+// one focus workload, swept over every fabric topology and every
+// placement strategy, each cell reporting the optimizer's predicted
+// mean hop distance and the measured speedup over the same fabric's
+// row-major mapping.
+func Placement(o Options) PlacementResult {
+	spec := o.focusSuite()[0]
+	cores := o.placementCores()
+	res := PlacementResult{Workload: spec.Name, Cores: cores}
+	for _, s := range place.Strategies() {
+		res.Strategies = append(res.Strategies, s.String())
+	}
+
+	build := func(kind noc.TopologyKind, strat place.Strategy) system.Config {
+		cfg := o.baseConfig(system.DistributedMesh, spec, cores, false)
+		cfg.Topology = kind
+		cfg.Placement = strat
+		return cfg
+	}
+
+	type cell struct {
+		kind  noc.TopologyKind
+		strat place.Strategy
+		run   *runner.Future
+	}
+	var cells []cell
+	for _, kind := range noc.TopologyKinds() {
+		for _, strat := range place.Strategies() {
+			cells = append(cells, cell{kind, strat, o.submit(build(kind, strat))})
+		}
+	}
+
+	base := map[noc.TopologyKind]system.Result{}
+	for _, c := range cells {
+		if c.strat == place.RowMajor {
+			base[c.kind] = c.run.Wait()
+		}
+	}
+	for _, c := range cells {
+		r := c.run.Wait()
+		tab, tr, topo, err := system.PlacementPlan(build(c.kind, c.strat))
+		if err != nil {
+			panic(err) // configs validated by construction
+		}
+		res.Rows = append(res.Rows, PlacementRow{
+			Topology:      c.kind.String(),
+			Strategy:      c.strat.String(),
+			PredictedHops: place.Cost(tab, topo, tr),
+			Cycles:        r.Cycles,
+			Speedup:       r.SpeedupOver(base[c.kind]),
+		})
+	}
+	return res
+}

@@ -73,6 +73,8 @@ func Registry() []Entry {
 			func(o Options) Renderer { return AblationQoS(o) }},
 		{"smoke1024", "1024-core DistributedMesh smoke (sharded-engine scale target)",
 			func(o Options) Renderer { return Smoke1024(o) }},
+		{"placement", "Slice placement vs fabric topology (speedup over row-major)",
+			func(o Options) Renderer { return Placement(o) }},
 	}
 	for i := range entries {
 		id, run := entries[i].ID, entries[i].Run

@@ -1,0 +1,65 @@
+package noc
+
+import "testing"
+
+// TestDesignSpaceRows pins the Table I row set and the first-order
+// relationships the paper's qualitative table encodes.
+func TestDesignSpaceRows(t *testing.T) {
+	points := DesignSpace(256)
+	wantNames := []string{"Bus", "Mesh", "FBFly-wide", "FBFly-narrow", "SMART", "NOCSTAR"}
+	if len(points) != len(wantNames) {
+		t.Fatalf("DesignSpace returned %d rows, want %d", len(points), len(wantNames))
+	}
+	byName := map[string]DesignPoint{}
+	for i, p := range points {
+		if p.Name != wantNames[i] {
+			t.Fatalf("row %d = %q, want %q", i, p.Name, wantNames[i])
+		}
+		byName[p.Name] = p
+		if p.AvgLatency <= 0 || p.AreaMM2 <= 0 || p.PowerMW <= 0 || p.BisectionLinks < 1 {
+			t.Fatalf("row %q has non-positive metric: %+v", p.Name, p)
+		}
+	}
+	mesh, nstar, smart := byName["Mesh"], byName["NOCSTAR"], byName["SMART"]
+	if nstar.AvgLatency >= mesh.AvgLatency {
+		t.Fatalf("NOCSTAR latency %v not below mesh %v", nstar.AvgLatency, mesh.AvgLatency)
+	}
+	if smart.AvgLatency >= mesh.AvgLatency {
+		t.Fatalf("SMART latency %v not below mesh %v", smart.AvgLatency, mesh.AvgLatency)
+	}
+	if nstar.AreaMM2 >= mesh.AreaMM2 || nstar.PowerMW >= mesh.PowerMW {
+		t.Fatalf("NOCSTAR area/power (%v, %v) not below mesh (%v, %v)",
+			nstar.AreaMM2, nstar.PowerMW, mesh.AreaMM2, mesh.PowerMW)
+	}
+	if nstar.BisectionLinks != mesh.BisectionLinks {
+		t.Fatalf("NOCSTAR bisection %d != mesh %d (same wiring)", nstar.BisectionLinks, mesh.BisectionLinks)
+	}
+	if byName["Bus"].BisectionLinks != 1 {
+		t.Fatalf("bus bisection = %d, want 1", byName["Bus"].BisectionLinks)
+	}
+}
+
+// TestClassifyVerdictsScaleInvariant checks the qualitative verdicts
+// survive scaling: the exact verdicts TestDesignSpaceTable1 pins at 64
+// cores must hold at every paper design point up to the 1024-core
+// scaling study, and the bus's single shared medium stays the one
+// inadequate bandwidth design throughout.
+func TestClassifyVerdictsScaleInvariant(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 512, 1024} {
+		byName := map[string]DesignVerdicts{}
+		for _, v := range Classify(DesignSpace(n)) {
+			byName[v.Name] = v
+		}
+		if byName["Bus"].Bandwidth != Poor {
+			t.Fatalf("n=%d: bus bandwidth verdict = %v, want %v", n, byName["Bus"].Bandwidth, Poor)
+		}
+		mesh := byName["Mesh"]
+		if mesh.Latency != Poor || mesh.Bandwidth != Good || mesh.Area != Poor || mesh.Power != Poor {
+			t.Fatalf("n=%d: mesh reference verdicts = %+v", n, mesh)
+		}
+		nstar := byName["NOCSTAR"]
+		if nstar.Latency != Good || nstar.Bandwidth != Good || nstar.Area != Good || nstar.Power != Good {
+			t.Fatalf("n=%d: NOCSTAR verdicts = %+v, want all good", n, nstar)
+		}
+	}
+}

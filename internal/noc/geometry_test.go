@@ -23,6 +23,31 @@ func TestGridFor(t *testing.T) {
 	}
 }
 
+// TestGridForProperty sweeps every core count up to just past 1024 (the
+// scaling study's ceiling) and checks the invariants consumers rely on:
+// the grid holds all n cores, stays near-square (so padded tiles — grid
+// nodes with IDs at or above n — are bounded), and never pads a whole
+// row's worth of waste.
+func TestGridForProperty(t *testing.T) {
+	for n := 1; n <= 1025; n++ {
+		g := GridFor(n)
+		if g.Nodes() < n {
+			t.Fatalf("GridFor(%d) = %dx%d holds only %d nodes", n, g.Rows, g.Cols, g.Nodes())
+		}
+		if g.Cols < 1 || g.Rows < g.Cols {
+			t.Fatalf("GridFor(%d) = %dx%d not row-dominant", n, g.Rows, g.Cols)
+		}
+		if g.Rows > 2*g.Cols {
+			t.Fatalf("GridFor(%d) = %dx%d too elongated", n, g.Rows, g.Cols)
+		}
+		// Either an exact factorization or minimal padding: dropping a
+		// column must lose capacity.
+		if g.Nodes() != n && g.Rows*(g.Cols-1) >= n {
+			t.Fatalf("GridFor(%d) = %dx%d pads a full spare column", n, g.Rows, g.Cols)
+		}
+	}
+}
+
 func TestGridForPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

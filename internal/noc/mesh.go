@@ -10,9 +10,12 @@ package noc
 // therefore contention-free closed forms, which is *conservative for
 // NOCSTAR* — NOCSTAR is the only fabric simulated with real contention.
 
-// MeshConfig describes the baseline mesh.
+// MeshConfig describes the baseline packet-switched fabric.
 type MeshConfig struct {
-	Geometry      Geometry
+	Geometry Geometry
+	// Topology supplies the route-length model; nil selects the XY mesh
+	// over Geometry (the paper's baseline and the historical behavior).
+	Topology      Topology
 	RouterCycles  int // tr: per-hop router pipeline delay (paper: 1)
 	LinkCycles    int // tw: per-hop wire delay (paper: 1)
 	Serialization int // Ts: extra cycles for wide packets on narrow links
@@ -23,9 +26,13 @@ func DefaultMeshConfig(g Geometry) MeshConfig {
 	return MeshConfig{Geometry: g, RouterCycles: 1, LinkCycles: 1}
 }
 
-// Mesh is the contention-free multi-hop mesh baseline.
+// Mesh is the contention-free multi-hop packet-switched baseline. Its
+// latency formula is the textbook T = H(tr + tw) + Ts; the hop count H
+// comes from the configured Topology, so the same model covers the
+// mesh, torus, crossbar, and hybrid fabrics.
 type Mesh struct {
 	cfg      MeshConfig
+	topo     Topology
 	messages uint64
 	totalLat uint64
 }
@@ -38,14 +45,20 @@ func NewMesh(cfg MeshConfig) *Mesh {
 	if cfg.LinkCycles <= 0 {
 		cfg.LinkCycles = 1
 	}
-	return &Mesh{cfg: cfg}
+	if cfg.Topology == nil {
+		cfg.Topology = NewTopology(TopoMesh, cfg.Geometry)
+	}
+	return &Mesh{cfg: cfg, topo: cfg.Topology}
 }
+
+// Topology returns the route-length model the mesh latencies use.
+func (m *Mesh) Topology() Topology { return m.topo }
 
 // Latency returns the one-way message latency from src to dst using the
 // textbook formula T = H(tr + tw) + Ts with zero contention. Local
 // delivery (src == dst) is free.
 func (m *Mesh) Latency(src, dst NodeID) int {
-	h := m.cfg.Geometry.Hops(src, dst)
+	h := m.topo.Hops(src, dst)
 	if h == 0 {
 		return 0
 	}
@@ -67,14 +80,15 @@ func (m *Mesh) LatencyForHops(h int) int {
 // message — the pure counterpart of Latency. Sharded runs own their
 // route accounting per region and fold it back through AddStats.
 func (m *Mesh) Hops(src, dst NodeID) int {
-	return m.cfg.Geometry.Hops(src, dst)
+	return m.topo.Hops(src, dst)
 }
 
-// MinCrossLatency reports the smallest nonzero one-way latency the mesh
-// can produce — the latency of a single hop. It bounds how far apart two
-// regions' clocks may drift in a sharded run (the conservative lookahead
-// window).
-func (m *Mesh) MinCrossLatency() int { return m.LatencyForHops(1) }
+// MinCrossLatency reports the smallest nonzero one-way latency the
+// fabric can produce — the latency of a MinHops traversal. It bounds how
+// far apart two regions' clocks may drift in a sharded run (the
+// conservative lookahead window): every cross-tile message covers at
+// least MinHops hops, so its latency is at least this value.
+func (m *Mesh) MinCrossLatency() int { return m.LatencyForHops(m.topo.MinHops()) }
 
 // AddStats folds externally accumulated message statistics into the
 // mesh's counters. Sharded runs count messages and latency per region

@@ -1,0 +1,357 @@
+// Package place implements the searchable address→slice placement
+// layer. The distributed organizations hash a virtual address to a
+// *logical* slice index; a placement Table maps logical slices onto
+// physical tiles. Row-major (the identity) is the paper's fixed
+// mapping; the alternative strategies permute it to move heavily used
+// slices toward the cores that use them, under whatever topology the
+// fabric routes — a random shuffle baseline, a greedy locality-aware
+// assignment, and a simulated-annealing search minimizing the mean hop
+// distance weighted by a sampled traffic matrix. All strategies are
+// pure functions of (topology, traffic, seed), so every engine that
+// builds a table for the same config gets the same mapping.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nocstar/internal/engine"
+	"nocstar/internal/noc"
+)
+
+// Strategy selects a placement strategy.
+type Strategy int
+
+const (
+	// RowMajor is the identity mapping: logical slice i lives on tile i
+	// (the paper's fixed modulo placement).
+	RowMajor Strategy = iota
+	// Random shuffles the mapping uniformly (the upcycle randomize_llc
+	// baseline) — it destroys pathological striding but optimizes
+	// nothing.
+	Random
+	// LocalityAware greedily assigns the most-trafficked logical slices
+	// to the most-central tiles of the topology.
+	LocalityAware
+	// Annealed runs a simulated-annealing search minimizing the
+	// traffic-weighted mean hop distance.
+	Annealed
+
+	numStrategies
+)
+
+// strategyTokens are the stable wire names, used by the canonical
+// config encoding and the -placement flag.
+var strategyTokens = map[Strategy]string{
+	RowMajor:      "row-major",
+	Random:        "random",
+	LocalityAware: "locality",
+	Annealed:      "annealed",
+}
+
+// Valid reports whether s names a known strategy.
+func (s Strategy) Valid() bool { return s >= RowMajor && s < numStrategies }
+
+// String returns the wire name of the strategy.
+func (s Strategy) String() string {
+	if tok, ok := strategyTokens[s]; ok {
+		return tok
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy resolves a wire name back to a strategy.
+func ParseStrategy(tok string) (Strategy, bool) {
+	for s, t := range strategyTokens {
+		if t == tok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Tokens returns the wire names of every strategy, sorted.
+func Tokens() []string {
+	out := make([]string, 0, len(strategyTokens))
+	for _, tok := range strategyTokens {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Strategies returns every strategy in declaration order.
+func Strategies() []Strategy {
+	return []Strategy{RowMajor, Random, LocalityAware, Annealed}
+}
+
+// Traffic is a sampled source-core × logical-slice demand matrix: W[s][l]
+// estimates how many L2 accesses core s sends to logical slice l.
+type Traffic struct {
+	n int
+	w []float64 // len n*n, w[src*n+logical]
+}
+
+// NewTraffic returns an empty n×n matrix.
+func NewTraffic(n int) *Traffic {
+	return &Traffic{n: n, w: make([]float64, n*n)}
+}
+
+// N returns the matrix dimension.
+func (t *Traffic) N() int { return t.n }
+
+// Add accumulates weight onto the (src, logical) cell.
+func (t *Traffic) Add(src, logical int, weight float64) {
+	t.w[src*t.n+logical] += weight
+}
+
+// Weight returns the (src, logical) cell.
+func (t *Traffic) Weight(src, logical int) float64 {
+	return t.w[src*t.n+logical]
+}
+
+// Total returns the sum of all cells.
+func (t *Traffic) Total() float64 {
+	total := 0.0
+	for _, w := range t.w {
+		total += w
+	}
+	return total
+}
+
+// Table is one placement: a permutation sending logical slice indices
+// to physical tiles.
+type Table struct {
+	strategy Strategy
+	perm     []int32
+}
+
+// Identity returns the row-major table over n slices.
+func Identity(n int) *Table {
+	t := &Table{strategy: RowMajor, perm: make([]int32, n)}
+	for i := range t.perm {
+		t.perm[i] = int32(i)
+	}
+	return t
+}
+
+// Strategy reports the strategy that built the table.
+func (t *Table) Strategy() Strategy { return t.strategy }
+
+// N returns the slice count.
+func (t *Table) N() int { return len(t.perm) }
+
+// Slice maps a logical slice index to its physical tile.
+func (t *Table) Slice(logical int) int { return int(t.perm[logical]) }
+
+// Perm returns a copy of the full permutation.
+func (t *Table) Perm() []int {
+	out := make([]int, len(t.perm))
+	for i, p := range t.perm {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// IsIdentity reports whether the table is the row-major mapping.
+func (t *Table) IsIdentity() bool {
+	for i, p := range t.perm {
+		if int(p) != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two tables hold the same permutation.
+func (t *Table) Equal(o *Table) bool {
+	if len(t.perm) != len(o.perm) {
+		return false
+	}
+	for i, p := range t.perm {
+		if p != o.perm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cost returns the traffic-weighted mean hop distance of the table
+// under topo: sum over (src, logical) of W[src][logical] *
+// Hops(src, table[logical]), divided by the total weight. Zero-traffic
+// matrices (and nil) cost 0.
+func Cost(t *Table, topo noc.Topology, tr *Traffic) float64 {
+	if tr == nil {
+		return 0
+	}
+	n := tr.n
+	total, weighted := 0.0, 0.0
+	for src := 0; src < n; src++ {
+		row := tr.w[src*n : (src+1)*n]
+		for l, w := range row {
+			if w == 0 {
+				continue
+			}
+			total += w
+			weighted += w * float64(topo.Hops(noc.NodeID(src), noc.NodeID(t.perm[l])))
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// hopsOf precomputes the full distance matrix D[src*n+p] so the search
+// loops never re-derive coordinates.
+func hopsOf(topo noc.Topology, n int) []int32 {
+	d := make([]int32, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			d[a*n+b] = int32(topo.Hops(noc.NodeID(a), noc.NodeID(b)))
+		}
+	}
+	return d
+}
+
+// Build constructs the placement table for n slices under the given
+// strategy, topology, traffic matrix, and seed. The result is a pure
+// function of the arguments. Strategies that weigh traffic degrade to
+// the identity when tr is nil or carries no weight — with nothing to
+// optimize, the row-major mapping is already optimal and keeps the
+// simulated behavior byte-identical to the fixed mapping.
+func Build(strategy Strategy, topo noc.Topology, n int, tr *Traffic, seed int64) *Table {
+	switch strategy {
+	case RowMajor:
+		return Identity(n)
+	case Random:
+		t := Identity(n)
+		t.strategy = Random
+		rng := engine.NewRand(seed)
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			t.perm[i], t.perm[j] = t.perm[j], t.perm[i]
+		}
+		return t
+	case LocalityAware, Annealed:
+		if tr == nil || tr.Total() == 0 || n != tr.n {
+			return Identity(n)
+		}
+		t := locality(topo, n, tr)
+		if strategy == LocalityAware {
+			return t
+		}
+		return anneal(t, topo, n, tr, seed)
+	}
+	panic(fmt.Sprintf("place: unknown strategy %d", int(strategy)))
+}
+
+// locality assigns the heaviest logical slices to the most central
+// tiles: slices sorted by total inbound traffic (descending), tiles by
+// mean distance to all sources (ascending), ties broken by index so the
+// result is deterministic.
+func locality(topo noc.Topology, n int, tr *Traffic) *Table {
+	d := hopsOf(topo, n)
+	load := make([]float64, n)    // per-logical-slice inbound weight
+	central := make([]float64, n) // per-tile mean distance from all tiles
+	for src := 0; src < n; src++ {
+		for l := 0; l < n; l++ {
+			load[l] += tr.w[src*n+l]
+			central[l] += float64(d[src*n+l])
+		}
+	}
+	slices := make([]int, n)
+	tiles := make([]int, n)
+	for i := 0; i < n; i++ {
+		slices[i], tiles[i] = i, i
+	}
+	sort.SliceStable(slices, func(a, b int) bool {
+		return load[slices[a]] > load[slices[b]]
+	})
+	sort.SliceStable(tiles, func(a, b int) bool {
+		return central[tiles[a]] < central[tiles[b]]
+	})
+	t := &Table{strategy: LocalityAware, perm: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		t.perm[slices[i]] = int32(tiles[i])
+	}
+	return t
+}
+
+// annealIters returns the move budget: enough to converge small systems
+// and scale linearly for large ones.
+func annealIters(n int) int {
+	iters := 20_000
+	if scaled := 50 * n; scaled > iters {
+		iters = scaled
+	}
+	return iters
+}
+
+// anneal refines a starting table by simulated annealing over slice
+// swaps. The cost of a swap is evaluated incrementally in O(n) from the
+// traffic columns and the distance matrix; the temperature follows a
+// geometric schedule from a tenth of the initial cost down three
+// decades. The best table seen wins, so the search never returns
+// something worse than its seed placement.
+func anneal(start *Table, topo noc.Topology, n int, tr *Traffic, seed int64) *Table {
+	if n < 2 {
+		out := &Table{strategy: Annealed, perm: append([]int32(nil), start.perm...)}
+		return out
+	}
+	d := hopsOf(topo, n)
+	// Column-major traffic: wcol[l][src], so a swap's delta walks two
+	// contiguous columns.
+	wcol := make([][]float64, n)
+	for l := 0; l < n; l++ {
+		col := make([]float64, n)
+		for src := 0; src < n; src++ {
+			col[src] = tr.w[src*n+l]
+		}
+		wcol[l] = col
+	}
+	perm := append([]int32(nil), start.perm...)
+	cost := 0.0
+	for src := 0; src < n; src++ {
+		for l := 0; l < n; l++ {
+			if w := wcol[l][src]; w != 0 {
+				cost += w * float64(d[src*n+int(perm[l])])
+			}
+		}
+	}
+	best := append([]int32(nil), perm...)
+	bestCost := cost
+
+	rng := engine.NewRand(seed)
+	iters := annealIters(n)
+	t0 := cost/10 + 1e-9
+	alpha := math.Pow(1e-3, 1/float64(iters)) // t0 -> t0/1000 over the run
+	temp := t0
+	for it := 0; it < iters; it++ {
+		l1 := rng.Intn(n)
+		l2 := rng.Intn(n - 1)
+		if l2 >= l1 {
+			l2++
+		}
+		p1, p2 := int(perm[l1]), int(perm[l2])
+		// delta = sum_src (w[src][l1]-w[src][l2]) * (D[src][p2]-D[src][p1])
+		delta := 0.0
+		c1, c2 := wcol[l1], wcol[l2]
+		for src := 0; src < n; src++ {
+			if dw := c1[src] - c2[src]; dw != 0 {
+				delta += dw * float64(d[src*n+p2]-d[src*n+p1])
+			}
+		}
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			perm[l1], perm[l2] = perm[l2], perm[l1]
+			cost += delta
+			if cost < bestCost {
+				bestCost = cost
+				copy(best, perm)
+			}
+		}
+		temp *= alpha
+	}
+	return &Table{strategy: Annealed, perm: best}
+}

@@ -1,0 +1,201 @@
+package place
+
+import (
+	"testing"
+
+	"nocstar/internal/noc"
+)
+
+func TestStrategyTokens(t *testing.T) {
+	for _, s := range Strategies() {
+		if !s.Valid() {
+			t.Fatalf("declared strategy %d invalid", int(s))
+		}
+		got, ok := ParseStrategy(s.String())
+		if !ok || got != s {
+			t.Fatalf("token round trip failed for %v: got %v ok=%v", s, got, ok)
+		}
+	}
+	if _, ok := ParseStrategy("greedy"); ok {
+		t.Fatal("parsed unknown token")
+	}
+	toks := Tokens()
+	if len(toks) != len(Strategies()) {
+		t.Fatalf("token count %d != strategy count %d", len(toks), len(Strategies()))
+	}
+	for i := 1; i < len(toks); i++ {
+		if toks[i-1] >= toks[i] {
+			t.Fatalf("tokens not sorted: %q before %q", toks[i-1], toks[i])
+		}
+	}
+	if Strategy(42).Valid() {
+		t.Fatal("strategy 42 reported valid")
+	}
+}
+
+func TestIdentityTable(t *testing.T) {
+	tab := Identity(8)
+	if tab.Strategy() != RowMajor || tab.N() != 8 || !tab.IsIdentity() {
+		t.Fatalf("identity table wrong: strategy=%v n=%d identity=%v", tab.Strategy(), tab.N(), tab.IsIdentity())
+	}
+	for i := 0; i < 8; i++ {
+		if tab.Slice(i) != i {
+			t.Fatalf("identity Slice(%d) = %d", i, tab.Slice(i))
+		}
+	}
+}
+
+// checkPermutation fails unless tab maps the n logical slices onto the
+// n tiles bijectively.
+func checkPermutation(t *testing.T, tab *Table, n int) {
+	t.Helper()
+	if tab.N() != n {
+		t.Fatalf("table size %d, want %d", tab.N(), n)
+	}
+	seen := make([]bool, n)
+	for l := 0; l < n; l++ {
+		p := tab.Slice(l)
+		if p < 0 || p >= n {
+			t.Fatalf("Slice(%d) = %d outside [0,%d)", l, p, n)
+		}
+		if seen[p] {
+			t.Fatalf("tile %d assigned twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+// skewedTraffic concentrates demand: every source hammers logical slice
+// n-1 (placed at the far corner under row-major) and lightly touches
+// slice 0, so any optimizer has an obvious win.
+func skewedTraffic(n int) *Traffic {
+	tr := NewTraffic(n)
+	for src := 0; src < n; src++ {
+		tr.Add(src, n-1, 100)
+		tr.Add(src, 0, 1)
+	}
+	return tr
+}
+
+func TestBuildDeterministicAndValid(t *testing.T) {
+	const n = 16
+	topo := noc.NewTopology(noc.TopoMesh, noc.GridFor(n))
+	tr := skewedTraffic(n)
+	for _, s := range Strategies() {
+		a := Build(s, topo, n, tr, 7)
+		b := Build(s, topo, n, tr, 7)
+		if !a.Equal(b) {
+			t.Fatalf("%v not deterministic for fixed seed", s)
+		}
+		if a.Strategy() != s {
+			t.Fatalf("%v table reports strategy %v", s, a.Strategy())
+		}
+		checkPermutation(t, a, n)
+	}
+	// Different seeds must move the seeded strategies.
+	r1 := Build(Random, topo, n, tr, 1)
+	r2 := Build(Random, topo, n, tr, 2)
+	if r1.Equal(r2) {
+		t.Fatal("random placement identical across seeds")
+	}
+}
+
+func TestOptimizersDegradeToIdentity(t *testing.T) {
+	const n = 8
+	topo := noc.NewTopology(noc.TopoMesh, noc.GridFor(n))
+	for _, s := range []Strategy{LocalityAware, Annealed} {
+		if !Build(s, topo, n, nil, 3).IsIdentity() {
+			t.Fatalf("%v with nil traffic not identity", s)
+		}
+		if !Build(s, topo, n, NewTraffic(n), 3).IsIdentity() {
+			t.Fatalf("%v with zero traffic not identity", s)
+		}
+		if !Build(s, topo, n, NewTraffic(n+1), 3).IsIdentity() {
+			t.Fatalf("%v with mismatched traffic not identity", s)
+		}
+	}
+}
+
+// TestOptimizersReduceCost: on skewed traffic the locality and annealed
+// tables must beat row-major, and annealing (seeded from the locality
+// table, keeping the best state seen) must never lose to it.
+func TestOptimizersReduceCost(t *testing.T) {
+	const n = 16
+	topo := noc.NewTopology(noc.TopoMesh, noc.GridFor(n))
+	tr := skewedTraffic(n)
+	base := Cost(Identity(n), topo, tr)
+	loc := Cost(Build(LocalityAware, topo, n, tr, 5), topo, tr)
+	ann := Cost(Build(Annealed, topo, n, tr, 5), topo, tr)
+	if loc >= base {
+		t.Fatalf("locality cost %v not below row-major %v", loc, base)
+	}
+	if ann > loc+1e-9 {
+		t.Fatalf("annealed cost %v above its locality seed %v", ann, loc)
+	}
+	if ann >= base {
+		t.Fatalf("annealed cost %v not below row-major %v", ann, base)
+	}
+}
+
+// TestLocalityCentersHotSlice: the single hot slice must land on the
+// most central tile of the mesh.
+func TestLocalityCentersHotSlice(t *testing.T) {
+	const n = 16
+	g := noc.GridFor(n)
+	topo := noc.NewTopology(noc.TopoMesh, g)
+	tr := NewTraffic(n)
+	for src := 0; src < n; src++ {
+		tr.Add(src, 3, 10) // logical slice 3 is the only demand
+	}
+	tab := Build(LocalityAware, topo, n, tr, 0)
+	hot := noc.NodeID(tab.Slice(3))
+	// No tile may have a strictly smaller total distance to all sources.
+	sumDist := func(p noc.NodeID) int {
+		s := 0
+		for src := 0; src < n; src++ {
+			s += topo.Hops(noc.NodeID(src), p)
+		}
+		return s
+	}
+	hotSum := sumDist(hot)
+	for p := 0; p < n; p++ {
+		if sumDist(noc.NodeID(p)) < hotSum {
+			t.Fatalf("hot slice on tile %d (total distance %d), tile %d is more central (%d)",
+				hot, hotSum, p, sumDist(noc.NodeID(p)))
+		}
+	}
+}
+
+func TestCostZeroCases(t *testing.T) {
+	topo := noc.NewTopology(noc.TopoMesh, noc.GridFor(4))
+	if c := Cost(Identity(4), topo, nil); c != 0 {
+		t.Fatalf("nil traffic cost = %v", c)
+	}
+	if c := Cost(Identity(4), topo, NewTraffic(4)); c != 0 {
+		t.Fatalf("zero traffic cost = %v", c)
+	}
+}
+
+// TestCostMatchesDefinition verifies Cost against a hand-computed
+// weighted mean.
+func TestCostMatchesDefinition(t *testing.T) {
+	const n = 4 // 2x2 grid
+	topo := noc.NewTopology(noc.TopoMesh, noc.GridFor(n))
+	tr := NewTraffic(n)
+	tr.Add(0, 3, 2) // hops(0,3) = 2, weight 2
+	tr.Add(1, 0, 1) // hops(1,0) = 1, weight 1
+	want := (2.0*2 + 1.0*1) / 3.0
+	if got := Cost(Identity(n), topo, tr); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestAnnealTinySystem(t *testing.T) {
+	topo := noc.NewTopology(noc.TopoMesh, noc.GridFor(1))
+	tr := NewTraffic(1)
+	tr.Add(0, 0, 5)
+	tab := Build(Annealed, topo, 1, tr, 9)
+	if tab.Strategy() != Annealed || !tab.IsIdentity() {
+		t.Fatalf("1-slice anneal: strategy=%v perm=%v", tab.Strategy(), tab.Perm())
+	}
+}

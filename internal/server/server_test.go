@@ -138,6 +138,58 @@ func TestSubmitPollByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSubmitFabricConfig pushes the new fabric knobs through the full
+// HTTP path: a torus-topology, annealed-placement distributed config
+// must round-trip the decoder, simulate, and serve bytes identical to
+// the direct run — and a config differing only in placement seed must
+// occupy its own cache entry.
+func TestSubmitFabricConfig(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	fabricConfig := func(placementSeed int64) string {
+		return fmt.Sprintf(`{
+		"schema": 3, "org": "distributed", "cores": 8,
+		"topology": "torus", "placement": "annealed", "placement_seed": %d,
+		"apps": [{"workload": "gups", "threads": 8}],
+		"instr_per_thread": 5000, "seed": 1
+	}`, placementSeed)
+	}
+	body := fabricConfig(4)
+
+	cfg, err := system.UnmarshalConfig([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, st := postRun(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	final := pollUntilTerminal(t, ts.URL, st.ID)
+	if final.State != string(stateDone) {
+		t.Fatalf("run ended %s: %s", final.State, final.Error)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Fatalf("HTTP result differs from direct run (%d vs %d bytes)", len(final.Result), len(want))
+	}
+
+	// A different placement seed is a different simulation, not a cache hit.
+	code, other := postRun(t, ts.URL, fabricConfig(5))
+	if code != http.StatusAccepted {
+		t.Fatalf("distinct placement seed served from cache (status %d)", code)
+	}
+	if done := pollUntilTerminal(t, ts.URL, other.ID); done.State != string(stateDone) {
+		t.Fatalf("seed-5 run ended %s: %s", done.State, done.Error)
+	}
+}
+
 // TestConcurrentDuplicatesSingleflight hammers one config from many
 // goroutines and checks exactly one simulation executed.
 func TestConcurrentDuplicatesSingleflight(t *testing.T) {

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"nocstar/internal/noc"
+	"nocstar/internal/place"
 	"nocstar/internal/ptw"
 	"nocstar/internal/workload"
 )
@@ -30,7 +31,8 @@ import (
 // documents stamped with a newer version than it understands.
 //
 // v2 added warmup_instr.
-const ConfigSchemaVersion = 2
+// v3 added topology, placement, placement_seed.
+const ConfigSchemaVersion = 3
 
 // orgTokens are the stable wire names of the organizations.
 var orgTokens = map[Org]string{
@@ -87,6 +89,9 @@ type configJSON struct {
 	FixedAccessLatency    int        `json:"fixed_access_latency"`
 	HPCmax                int        `json:"hpc_max"`
 	Acquire               string     `json:"acquire"`
+	Topology              string     `json:"topology"`
+	Placement             string     `json:"placement"`
+	PlacementSeed         int64      `json:"placement_seed"`
 	PTW                   ptwJSON    `json:"ptw"`
 	Policy                string     `json:"policy"`
 	PrefetchDegree        int        `json:"prefetch_degree"`
@@ -183,6 +188,9 @@ func (c Config) MarshalCanonical() ([]byte, error) {
 		FixedAccessLatency: n.FixedAccessLatency,
 		HPCmax:             n.HPCmax,
 		Acquire:            acquire,
+		Topology:           n.Topology.String(),
+		Placement:          n.Placement.String(),
+		PlacementSeed:      n.PlacementSeed,
 		PTW: ptwJSON{
 			Mode:         mode,
 			FixedLatency: n.PTW.FixedLatency,
@@ -283,6 +291,23 @@ func UnmarshalConfig(data []byte) (Config, error) {
 		return Config{}, fmt.Errorf("system: unknown acquire mode %q (have %s, %s)",
 			doc.Acquire, acquireOneWayToken, acquireRoundTripToken)
 	}
+	if doc.Topology != "" {
+		kind, ok := noc.ParseTopologyKind(doc.Topology)
+		if !ok {
+			return Config{}, fmt.Errorf("system: unknown topology %q (have %s)",
+				doc.Topology, strings.Join(noc.TopologyTokens(), ", "))
+		}
+		cfg.Topology = kind
+	}
+	if doc.Placement != "" {
+		strategy, ok := place.ParseStrategy(doc.Placement)
+		if !ok {
+			return Config{}, fmt.Errorf("system: unknown placement strategy %q (have %s)",
+				doc.Placement, strings.Join(place.Tokens(), ", "))
+		}
+		cfg.Placement = strategy
+	}
+	cfg.PlacementSeed = doc.PlacementSeed
 	switch doc.Policy {
 	case "", policyRequestToken:
 	case policyRemoteToken:

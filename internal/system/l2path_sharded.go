@@ -246,7 +246,7 @@ func (rg *shRegion) distAccess(x *xact) {
 		return
 	}
 
-	hops := s.geo.Hops(x.src, x.dst)
+	hops := s.topo.Hops(x.src, x.dst)
 	x.hops = hops
 	x.oneWay = s.mesh.LatencyForHops(hops)
 	rg.meter.AddMessage(energy.DistributedMessage(2*hops, 0))
@@ -392,7 +392,7 @@ func (rg *shRegion) insertOne(a *app, vpn uint64, size vm.PageSize, pfn uint64, 
 	m.vpn = vpn
 	m.size = size
 	m.pfn = pfn
-	hops := s.geo.Hops(noc.NodeID(rg.id), noc.NodeID(slice))
+	hops := s.topo.Hops(noc.NodeID(rg.id), noc.NodeID(slice))
 	when := rg.eng.Now() + engine.Cycle(s.mesh.LatencyForHops(hops))
 	s.sh.Send(rg.id, slice, when, s.regions[slice], shInsert, m)
 }

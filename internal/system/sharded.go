@@ -40,6 +40,7 @@ import (
 	"nocstar/internal/engine"
 	"nocstar/internal/metrics"
 	"nocstar/internal/noc"
+	"nocstar/internal/place"
 	"nocstar/internal/ptw"
 	"nocstar/internal/sram"
 	"nocstar/internal/stats"
@@ -85,6 +86,8 @@ type shRegion struct {
 type shSystem struct {
 	cfg     Config
 	geo     noc.Geometry
+	topo    noc.Topology
+	pl      *place.Table
 	rng     *engine.Rand // globals (disturbances) only
 	mesh    *noc.Mesh    // pure latency/hops calculator; never mutated
 	sh      *engine.Sharded
@@ -197,11 +200,18 @@ func newShSystem(cfg Config, shards int) *shSystem {
 		rng:     engine.NewRand(cfg.Seed),
 		workers: shards,
 	}
-	s.mesh = noc.NewMesh(noc.DefaultMeshConfig(s.geo))
+	s.topo = noc.NewTopology(cfg.Topology, s.geo)
+	s.pl = buildPlacement(cfg, s.topo)
+	mc := noc.DefaultMeshConfig(s.geo)
+	mc.Topology = s.topo
+	s.mesh = noc.NewMesh(mc)
 	s.sliceLat = sram.AccessCycles(cfg.L2EntriesPerCore)
 	if cfg.Org == Private {
 		s.window = privateWindow
 	} else {
+		// Every cross-region message covers at least Topology.MinHops()
+		// hops, so MinCrossLatency is a sound conservative lookahead for
+		// all four fabrics.
 		s.window = engine.Cycle(s.mesh.MinCrossLatency())
 	}
 	s.insPool.New = func() any { return &shIns{} }
@@ -803,9 +813,10 @@ func (s *shSystem) sliceForSh(th *thread, va vm.VirtAddr) int {
 	return s.homeSliceSh(va)
 }
 
-// homeSliceSh is the home-slice hash (identical to the legacy mapping).
+// homeSliceSh is the home-slice hash (identical to the legacy mapping):
+// address hash to a logical slice, placement table to a physical tile.
 func (s *shSystem) homeSliceSh(va vm.VirtAddr) int {
-	return int(mix(uint64(va)>>21) % uint64(s.cfg.Cores))
+	return s.pl.Slice(int(mix(uint64(va)>>21) % uint64(s.cfg.Cores)))
 }
 
 func (s *shSystem) getIns() *shIns  { return s.insPool.Get().(*shIns) }

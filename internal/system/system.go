@@ -10,6 +10,7 @@ import (
 	"nocstar/internal/engine"
 	"nocstar/internal/metrics"
 	"nocstar/internal/noc"
+	"nocstar/internal/place"
 	"nocstar/internal/ptw"
 	"nocstar/internal/sram"
 	"nocstar/internal/stats"
@@ -79,10 +80,12 @@ const threadBatchSize = 1024
 
 // System is one configured machine mid-run.
 type System struct {
-	cfg Config
-	eng *engine.Engine
-	geo noc.Geometry
-	rng *engine.Rand
+	cfg  Config
+	eng  *engine.Engine
+	geo  noc.Geometry
+	topo noc.Topology
+	pl   *place.Table
+	rng  *engine.Rand
 
 	cores   []*core
 	apps    []*app
@@ -147,6 +150,8 @@ func New(cfg Config) (*System, error) {
 		geo: noc.GridFor(cfg.Cores),
 		rng: engine.NewRand(cfg.Seed),
 	}
+	s.topo = noc.NewTopology(cfg.Topology, s.geo)
+	s.pl = buildPlacement(cfg, s.topo)
 	s.initMetrics()
 
 	sizing := tlb.DefaultL1Sizing().Scale(cfg.L1Scale)
@@ -189,12 +194,22 @@ func New(cfg Config) (*System, error) {
 		s.monoLat = sram.AccessCycles(total)
 		s.bankPortFree = make([]engine.Cycle, cfg.Banks)
 		// The monolithic structure sits at one end of the chip: banks
-		// spread along the bottom row (Section II-C2).
+		// spread along the bottom row (Section II-C2). GridFor pads
+		// non-rectangular core counts, so a bottom-row tile may hold no
+		// core; clamp each bank to the last real tile — under the
+		// remote-walk policy the bank's node indexes s.cores directly,
+		// and an unclamped padded node is out of range.
 		for b := 0; b < cfg.Banks; b++ {
 			col := (2*b + 1) * s.geo.Cols / (2 * cfg.Banks)
-			s.bankNodes = append(s.bankNodes, s.geo.Node(s.geo.Rows-1, col))
+			nd := s.geo.Node(s.geo.Rows-1, col)
+			if int(nd) >= cfg.Cores {
+				nd = noc.NodeID(cfg.Cores - 1)
+			}
+			s.bankNodes = append(s.bankNodes, nd)
 		}
-		s.mesh = noc.NewMesh(noc.DefaultMeshConfig(s.geo))
+		mc := noc.DefaultMeshConfig(s.geo)
+		mc.Topology = s.topo
+		s.mesh = noc.NewMesh(mc)
 		s.smart = noc.NewSMART(noc.DefaultSMARTConfig(s.geo))
 	case DistributedMesh, Nocstar, NocstarIdeal, IdealShared:
 		for i := 0; i < cfg.Cores; i++ {
@@ -209,7 +224,9 @@ func New(cfg Config) (*System, error) {
 		}
 		s.slicePortFree = make([]engine.Cycle, cfg.Cores)
 		s.sliceOut = make([]int, cfg.Cores)
-		s.mesh = noc.NewMesh(noc.DefaultMeshConfig(s.geo))
+		mc := noc.DefaultMeshConfig(s.geo)
+		mc.Topology = s.topo
+		s.mesh = noc.NewMesh(mc)
 		if cfg.Org == Nocstar || cfg.Org == NocstarIdeal {
 			s.fabric = noc.NewNocstar(s.eng, noc.NocstarConfig{
 				Geometry: s.geo,
@@ -666,9 +683,11 @@ func (s *System) sliceFor(th *thread, va vm.VirtAddr) int {
 	return s.homeSlice(va)
 }
 
-// homeSlice is sliceFor without per-app redirection.
+// homeSlice is sliceFor without per-app redirection: the address hash
+// picks a logical slice and the placement table maps it onto a physical
+// tile (the identity under the default row-major placement).
 func (s *System) homeSlice(va vm.VirtAddr) int {
-	return int(mix(uint64(va)>>21) % uint64(s.cfg.Cores))
+	return s.pl.Slice(int(mix(uint64(va)>>21) % uint64(s.cfg.Cores)))
 }
 
 // bankFor returns the monolithic bank of va.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nocstar/internal/noc"
+	"nocstar/internal/place"
 	"nocstar/internal/ptw"
 )
 
@@ -78,6 +79,26 @@ func (c Config) Validate() error {
 	}
 	if c.Acquire != noc.OneWayAcquire && c.Acquire != noc.RoundTripAcquire {
 		add("Acquire", "unknown acquire mode %d", int(c.Acquire))
+	}
+	if !c.Topology.Valid() {
+		add("Topology", "unknown topology %d", int(c.Topology))
+	} else if c.Topology != noc.TopoMesh {
+		switch c.Org {
+		case MonolithicMesh, DistributedMesh:
+		default:
+			add("Topology", "%v topology requires the monolithic(mesh) or distributed organization, got %v",
+				c.Topology, c.Org)
+		}
+	}
+	if !c.Placement.Valid() {
+		add("Placement", "unknown placement strategy %d", int(c.Placement))
+	} else if c.Placement != place.RowMajor {
+		switch c.Org {
+		case DistributedMesh, Nocstar, NocstarIdeal, IdealShared:
+		default:
+			add("Placement", "%v placement requires a sliced organization, got %v",
+				c.Placement, c.Org)
+		}
 	}
 	switch c.PTW.Mode {
 	case ptw.Variable:

@@ -45,7 +45,7 @@ func TestWorkloadsExposed(t *testing.T) {
 }
 
 func TestExperimentRegistryExposed(t *testing.T) {
-	if len(nocstar.Experiments()) != 25 {
+	if len(nocstar.Experiments()) != 26 {
 		t.Fatalf("experiments = %d", len(nocstar.Experiments()))
 	}
 	opts := nocstar.DefaultExperimentOptions()

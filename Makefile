@@ -18,7 +18,7 @@ help:
 	@echo "  fuzz         open-ended randomized checking (grows fuzz corpora)"
 	@echo "  smoke        end-to-end report-pipeline smoke run"
 	@echo "  serve-smoke  HTTP service smoke: submit/poll/cache/sweep/persistent-store over a loopback listener"
-	@echo "  serve-cluster-smoke  two-node consistent-hash smoke: exactly-once execution, cross-node cache serving"
+	@echo "  serve-cluster-smoke  three-node membership smoke: exactly-once execution, replication, kill-owner handoff"
 	@echo "  sharded      partitioned-engine determinism gate: K-identity, golden event order, report matrix, -race storm"
 	@echo "  placement    fabric/placement gate: topology contract, annealed determinism, placement report matrix"
 	@echo "  profile      CPU/heap profiles of the Table III sweep"
@@ -128,9 +128,11 @@ smoke:
 serve-smoke:
 	$(GO) run ./cmd/nocstar-serve -selftest
 
-# Two in-process nodes wired as consistent-hash peers: a config submitted
-# to both nodes executes exactly once cluster-wide, byte-identical
-# everywhere, and each node afterwards serves it from its own store.
+# Three in-process nodes joined by heartbeat gossip, driven through the
+# public typed client: membership converges, a double-submitted config
+# executes exactly once cluster-wide, the finished result replicates to
+# both HRW successors, and after the owner is hard-killed the survivors
+# serve its job ID and hash from replicas and absorb its hash range.
 serve-cluster-smoke:
 	$(GO) run ./cmd/nocstar-serve -selftest-cluster
 

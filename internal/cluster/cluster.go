@@ -1,0 +1,570 @@
+// Package cluster provides heartbeat-based dynamic membership for the
+// serve tier. Each node periodically pings every peer it knows about
+// with a small JSON heartbeat carrying its identity (stable ID derived
+// from its base URL, plus a per-process epoch), its load (queue depth
+// and capacity), and its store population; the response carries the
+// receiver's own heartbeat plus the addresses it knows, so membership
+// knowledge spreads transitively and a node seeded with a single peer
+// learns the whole cluster. A peer that stops answering (and stops
+// pinging us) is marked suspect after SuspectAfter and dead after
+// DeadAfter; a dead node keeps being pinged at the normal cadence so a
+// restarted process rejoins by simply answering again.
+//
+// Every membership-affecting change — a node joining, changing state,
+// or returning with a new epoch — bumps a monotonic view version, and
+// the rendezvous (HRW) owner function is computed over the *live* nodes
+// of the current view. Ownership therefore recomputes on join/leave
+// instead of being frozen at process start: when the owner of a config
+// hash dies, the next node in HRW order becomes the owner everywhere,
+// with no coordination beyond the heartbeats themselves — the
+// coordination-light structure the paper argues distributed last-level
+// designs need to scale.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a member's liveness classification.
+type State string
+
+const (
+	// StateAlive: heard from (either direction) within SuspectAfter.
+	StateAlive State = "alive"
+	// StateSuspect: missed deadlines, not yet written off. Suspect
+	// nodes are excluded from ownership so traffic routes around them
+	// immediately; a single successful heartbeat restores them.
+	StateSuspect State = "suspect"
+	// StateDead: silent past DeadAfter. Still pinged, so a restarted
+	// process rejoins by answering.
+	StateDead State = "dead"
+)
+
+// Node is one member as seen by the local view.
+type Node struct {
+	// ID is the stable identity: fnv64a of the normalized base URL,
+	// hex. Job IDs embed it, so any node can route a job ID back to
+	// the node that minted it.
+	ID string `json:"id"`
+	// Addr is the member's base URL.
+	Addr string `json:"addr"`
+	// Epoch distinguishes process incarnations of the same address
+	// (unix nanoseconds at process start). A node returning with a new
+	// epoch lost its in-memory job registry.
+	Epoch int64 `json:"epoch"`
+	// State is the local liveness classification.
+	State State `json:"state"`
+	// QueueDepth and QueueCap are the member's last gossiped
+	// submission-queue occupancy and capacity.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// StoreEntries is the member's last gossiped result-store
+	// population.
+	StoreEntries int `json:"store_entries"`
+	// LastSeenMS is milliseconds since the member was last heard from
+	// (0 for self).
+	LastSeenMS int64 `json:"last_seen_ms"`
+}
+
+// View is a versioned snapshot of the membership.
+type View struct {
+	// Version increments on every membership-affecting change (join,
+	// state transition, epoch change). Load stats do not bump it.
+	Version uint64 `json:"version"`
+	// Self is the local node's ID.
+	Self string `json:"self"`
+	// Nodes lists every known member, self included, sorted by ID.
+	Nodes []Node `json:"nodes"`
+}
+
+// Live returns the view's non-dead, non-suspect members.
+func (v View) Live() []Node {
+	var out []Node
+	for _, n := range v.Nodes {
+		if n.State == StateAlive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Stats is the local load snapshot gossiped in heartbeats.
+type Stats struct {
+	QueueDepth   int
+	QueueCap     int
+	StoreEntries int
+}
+
+// Options configures a Membership.
+type Options struct {
+	// Self is this node's base URL (required).
+	Self string
+	// Seeds are peer base URLs to bootstrap from (self is filtered
+	// out; more members are learned via heartbeat gossip).
+	Seeds []string
+	// Interval paces outgoing heartbeats (default 1s).
+	Interval time.Duration
+	// SuspectAfter and DeadAfter are the silence thresholds (defaults
+	// 3x and 8x Interval).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// StatsFunc supplies the local load snapshot included in outgoing
+	// heartbeats and views. Optional.
+	StatsFunc func() Stats
+	// Client performs heartbeat HTTP calls; nil selects a client with
+	// a per-call timeout of min(Interval, 5s)... capped below.
+	Client *http.Client
+}
+
+// NodeID derives the stable member ID from a base URL.
+func NodeID(addr string) string {
+	h := fnv.New64a()
+	io.WriteString(h, strings.TrimRight(strings.TrimSpace(addr), "/"))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// member is the internal per-node record.
+type member struct {
+	node   Node
+	lastOK time.Time // last time we heard from it, either direction
+}
+
+// Membership tracks the cluster from one node's point of view.
+type Membership struct {
+	opts   Options
+	selfID string
+	epoch  int64
+	client *http.Client
+
+	mu      sync.Mutex
+	version uint64
+	members map[string]*member // by ID; excludes self
+	stats   Stats              // self stats cache for views
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// heartbeat is the wire form of one ping (and its response).
+type heartbeat struct {
+	From  Node     `json:"from"`
+	Known []string `json:"known,omitempty"` // addresses, gossip
+}
+
+// New builds a membership rooted at opts.Self with the given seed
+// peers. Call Start to begin heartbeating; HandleHeartbeat must be
+// mounted on the node's HTTP mux at /v1/cluster/heartbeat.
+func New(opts Options) *Membership {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = 3 * opts.Interval
+	}
+	if opts.DeadAfter <= 0 {
+		opts.DeadAfter = 8 * opts.Interval
+	}
+	opts.Self = strings.TrimRight(strings.TrimSpace(opts.Self), "/")
+	m := &Membership{
+		opts:    opts,
+		selfID:  NodeID(opts.Self),
+		epoch:   time.Now().UnixNano(),
+		client:  opts.Client,
+		members: map[string]*member{},
+		stop:    make(chan struct{}),
+	}
+	if m.client == nil {
+		timeout := 2 * opts.Interval
+		if timeout > 5*time.Second {
+			timeout = 5 * time.Second
+		}
+		if timeout < 50*time.Millisecond {
+			timeout = 50 * time.Millisecond
+		}
+		m.client = &http.Client{Timeout: timeout}
+	}
+	now := time.Now()
+	for _, seed := range opts.Seeds {
+		m.addLocked(seed, now)
+	}
+	return m
+}
+
+// addLocked registers a new address as an alive member (it has
+// DeadAfter to prove itself). Caller holds m.mu or is in New.
+func (m *Membership) addLocked(addr string, now time.Time) {
+	addr = strings.TrimRight(strings.TrimSpace(addr), "/")
+	if addr == "" || addr == m.opts.Self {
+		return
+	}
+	id := NodeID(addr)
+	if _, ok := m.members[id]; ok {
+		return
+	}
+	m.members[id] = &member{
+		node:   Node{ID: id, Addr: addr, State: StateAlive},
+		lastOK: now,
+	}
+	m.version++
+}
+
+// Start launches the heartbeat loop.
+func (m *Membership) Start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.tick()
+			}
+		}
+	}()
+}
+
+// Stop ends the heartbeat loop and waits for in-flight pings.
+func (m *Membership) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+}
+
+// SelfID returns the local node's stable ID.
+func (m *Membership) SelfID() string { return m.selfID }
+
+// SelfAddr returns the local node's base URL.
+func (m *Membership) SelfAddr() string { return m.opts.Self }
+
+// Epoch returns the local process incarnation.
+func (m *Membership) Epoch() int64 { return m.epoch }
+
+// Version returns the current membership view version.
+func (m *Membership) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refreshLocked(time.Now())
+	return m.version
+}
+
+// selfNode snapshots the local node's entry. Caller holds m.mu.
+func (m *Membership) selfNodeLocked() Node {
+	return Node{
+		ID:           m.selfID,
+		Addr:         m.opts.Self,
+		Epoch:        m.epoch,
+		State:        StateAlive,
+		QueueDepth:   m.stats.QueueDepth,
+		QueueCap:     m.stats.QueueCap,
+		StoreEntries: m.stats.StoreEntries,
+	}
+}
+
+// refreshLocked recomputes liveness states from last-heard times,
+// bumping the version on any transition. Caller holds m.mu.
+func (m *Membership) refreshLocked(now time.Time) {
+	for _, mem := range m.members {
+		silent := now.Sub(mem.lastOK)
+		want := StateAlive
+		switch {
+		case silent >= m.opts.DeadAfter:
+			want = StateDead
+		case silent >= m.opts.SuspectAfter:
+			want = StateSuspect
+		}
+		if mem.node.State != want {
+			mem.node.State = want
+			m.version++
+		}
+	}
+}
+
+// View snapshots the membership, self included, sorted by ID.
+func (m *Membership) View() View {
+	now := time.Now()
+	if m.opts.StatsFunc != nil {
+		st := m.opts.StatsFunc()
+		m.mu.Lock()
+		m.stats = st
+	} else {
+		m.mu.Lock()
+	}
+	defer m.mu.Unlock()
+	m.refreshLocked(now)
+	nodes := make([]Node, 0, len(m.members)+1)
+	nodes = append(nodes, m.selfNodeLocked())
+	for _, mem := range m.members {
+		n := mem.node
+		n.LastSeenMS = now.Sub(mem.lastOK).Milliseconds()
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return View{Version: m.version, Self: m.selfID, Nodes: nodes}
+}
+
+// Lookup resolves a member ID to its current record (self included).
+func (m *Membership) Lookup(id string) (Node, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == m.selfID {
+		return m.selfNodeLocked(), true
+	}
+	m.refreshLocked(time.Now())
+	mem, ok := m.members[id]
+	if !ok {
+		return Node{}, false
+	}
+	return mem.node, true
+}
+
+// observe records that we heard from a node (heartbeat in either
+// direction), creating or reviving it and adopting its self-reported
+// identity and load.
+func (m *Membership) observe(n Node, now time.Time) {
+	if n.Addr == "" || n.Addr == m.opts.Self {
+		return
+	}
+	id := NodeID(n.Addr)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[id]
+	if !ok {
+		m.addLocked(n.Addr, now)
+		mem = m.members[id]
+		if mem == nil {
+			return
+		}
+	}
+	mem.lastOK = now
+	if mem.node.State != StateAlive {
+		mem.node.State = StateAlive
+		m.version++
+	}
+	if n.Epoch != 0 && mem.node.Epoch != n.Epoch {
+		mem.node.Epoch = n.Epoch
+		m.version++
+	}
+	mem.node.QueueDepth = n.QueueDepth
+	mem.node.QueueCap = n.QueueCap
+	mem.node.StoreEntries = n.StoreEntries
+}
+
+// mergeKnown adopts addresses gossiped by a peer.
+func (m *Membership) mergeKnown(addrs []string, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range addrs {
+		m.addLocked(a, now)
+	}
+}
+
+// ReportFailure marks a member suspect after a failed direct call
+// (proxy or replication), so ownership routes around it before the
+// heartbeat deadlines notice. A successful heartbeat revives it.
+func (m *Membership) ReportFailure(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[id]
+	if !ok || mem.node.State != StateAlive {
+		return
+	}
+	// Backdate lastOK so the next refresh agrees it is at least
+	// suspect rather than instantly flipping back.
+	cutoff := time.Now().Add(-m.opts.SuspectAfter)
+	if mem.lastOK.After(cutoff) {
+		mem.lastOK = cutoff
+	}
+	mem.node.State = StateSuspect
+	m.version++
+}
+
+// knownAddrsLocked lists every known address including self.
+func (m *Membership) knownAddrsLocked() []string {
+	out := make([]string, 0, len(m.members)+1)
+	out = append(out, m.opts.Self)
+	for _, mem := range m.members {
+		out = append(out, mem.node.Addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// outgoingLocked builds the heartbeat payload. Caller holds m.mu.
+func (m *Membership) outgoingLocked() heartbeat {
+	return heartbeat{From: m.selfNodeLocked(), Known: m.knownAddrsLocked()}
+}
+
+// tick sends one round of heartbeats to every known member (dead ones
+// included, so restarts rejoin) and applies the responses.
+func (m *Membership) tick() {
+	if m.opts.StatsFunc != nil {
+		st := m.opts.StatsFunc()
+		m.mu.Lock()
+		m.stats = st
+	} else {
+		m.mu.Lock()
+	}
+	hb := m.outgoingLocked()
+	targets := make([]Node, 0, len(m.members))
+	for _, mem := range m.members {
+		targets = append(targets, mem.node)
+	}
+	m.refreshLocked(time.Now())
+	m.mu.Unlock()
+
+	body, err := json.Marshal(hb)
+	if err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		wg.Add(1)
+		go func(t Node) {
+			defer wg.Done()
+			m.ping(t, body)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ping delivers one heartbeat and applies the response.
+func (m *Membership) ping(t Node, body []byte) {
+	timeout := m.client.Timeout
+	if timeout <= 0 {
+		timeout = 2 * m.opts.Interval
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		t.Addr+"/v1/cluster/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return // silence accrues; refreshLocked will demote it
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	var hb heartbeat
+	if err := json.Unmarshal(raw, &hb); err != nil {
+		return
+	}
+	now := time.Now()
+	m.observe(hb.From, now)
+	m.mergeKnown(hb.Known, now)
+}
+
+// HandleHeartbeat is the receiving side: it records the sender as
+// alive, adopts gossiped addresses, and answers with the local node's
+// own heartbeat. Mount at POST /v1/cluster/heartbeat.
+func (m *Membership) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "reading heartbeat", http.StatusBadRequest)
+		return
+	}
+	var hb heartbeat
+	if err := json.Unmarshal(raw, &hb); err != nil {
+		http.Error(w, "decoding heartbeat", http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	m.observe(hb.From, now)
+	m.mergeKnown(hb.Known, now)
+
+	if m.opts.StatsFunc != nil {
+		st := m.opts.StatsFunc()
+		m.mu.Lock()
+		m.stats = st
+	} else {
+		m.mu.Lock()
+	}
+	out := m.outgoingLocked()
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// hrwScore is the rendezvous digest: every node computes the same
+// (member, hash) score, so the ordering — and therefore the owner —
+// needs no coordination.
+func hrwScore(id, hash string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	h.Write([]byte{0})
+	io.WriteString(h, hash)
+	return h.Sum64()
+}
+
+// Ranked returns the live members (self included) in HRW order for
+// hash: index 0 is the owner, the rest are its successors. Ties break
+// toward the smaller ID so every node agrees.
+func (m *Membership) Ranked(hash string) []Node {
+	v := m.View()
+	live := v.Live()
+	sort.Slice(live, func(i, j int) bool {
+		si, sj := hrwScore(live[i].ID, hash), hrwScore(live[j].ID, hash)
+		if si != sj {
+			return si > sj
+		}
+		return live[i].ID < live[j].ID
+	})
+	return live
+}
+
+// Owner returns the live HRW owner of hash. ok is false when no live
+// member exists (never: self is always live).
+func (m *Membership) Owner(hash string) (Node, bool) {
+	r := m.Ranked(hash)
+	if len(r) == 0 {
+		return Node{}, false
+	}
+	return r[0], true
+}
+
+// Successors returns up to n live members after the owner in HRW
+// order — the replication targets for hash.
+func (m *Membership) Successors(hash string, n int) []Node {
+	r := m.Ranked(hash)
+	if len(r) <= 1 || n <= 0 {
+		return nil
+	}
+	r = r[1:]
+	if len(r) > n {
+		r = r[:n]
+	}
+	return r
+}
+
+// Load aggregates the cluster's gossiped queue occupancy: the summed
+// depth and capacity over live members. The caller folds in its own
+// instantaneous depth (gossiped self stats lag).
+func (m *Membership) Load() (depth, cap int) {
+	v := m.View()
+	for _, n := range v.Live() {
+		depth += n.QueueDepth
+		cap += n.QueueCap
+	}
+	return depth, cap
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+
+	"nocstar/internal/system"
+)
+
+// The unified error envelope: every non-2xx /v1 response carries
+//
+//	{"error":{"code":"...","message":"...","fields":[...]}}
+//
+// with a stable machine-readable code, so clients branch on codes
+// instead of parsing prose. The public client package decodes this
+// envelope into typed Go errors; testdata/error_envelope.golden.json
+// pins the schema.
+
+// Stable error codes. These are API surface: never renumber or reuse.
+const (
+	// codeBadRequest: the request itself is malformed (unreadable
+	// body, bad query parameter, non-array sweep, oversized batch).
+	codeBadRequest = "bad_request"
+	// codeInvalidConfig: the submitted config failed decoding or
+	// validation; Fields carries the per-field diagnoses when the
+	// validator produced them.
+	codeInvalidConfig = "invalid_config"
+	// codeQueueFull: admission control rejected the work — the local
+	// bounded queue is full, or a sweep exceeds the cluster-wide
+	// queue budget. Responses carry Retry-After.
+	codeQueueFull = "queue_full"
+	// codeDraining: the node is shutting down and refuses new work.
+	codeDraining = "draining"
+	// codeNotFound: no such run, on this node or anywhere the
+	// membership view can reach.
+	codeNotFound = "not_found"
+	// codeOwnerUnreachable: the job ID names a node the membership
+	// view knows but cannot currently reach, and no replicated result
+	// exists locally.
+	codeOwnerUnreachable = "owner_unreachable"
+	// codeInternal: the server failed; the message says how.
+	codeInternal = "internal"
+)
+
+// errorBody is the inner error object.
+type errorBody struct {
+	Code    string              `json:"code"`
+	Message string              `json:"message"`
+	Fields  []system.FieldError `json:"fields,omitempty"`
+}
+
+// errorEnvelope is the top-level non-2xx response document.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// writeError emits one enveloped error response.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeErrorFields(w, status, code, message, nil)
+}
+
+// writeErrorFields emits one enveloped error response with per-field
+// diagnoses.
+func writeErrorFields(w http.ResponseWriter, status int, code, message string, fields []system.FieldError) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: message, Fields: fields}})
+}

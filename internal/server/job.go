@@ -39,6 +39,7 @@ type jobEvent struct {
 // job is one accepted simulation request.
 type job struct {
 	id   string
+	node string // minting node's cluster ID
 	hash string
 	cfg  system.Config
 	// timeout is the effective run deadline the job was created with,
@@ -71,6 +72,7 @@ type runStatus struct {
 	ID         string          `json:"id"`
 	State      string          `json:"state"`
 	ConfigHash string          `json:"config_hash"`
+	Node       string          `json:"node,omitempty"`
 	Cached     bool            `json:"cached,omitempty"`
 	Deduped    bool            `json:"deduped,omitempty"`
 	Error      string          `json:"error,omitempty"`
@@ -86,6 +88,7 @@ func (j *job) status(withResult bool) runStatus {
 		ID:         j.id,
 		State:      string(j.state),
 		ConfigHash: j.hash,
+		Node:       j.node,
 		Cached:     j.cached,
 		Error:      j.errMsg,
 	}

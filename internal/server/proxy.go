@@ -5,121 +5,259 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 	"time"
+
+	"nocstar/internal/cluster"
 )
 
-// Consistent-hash work sharding. With a static peer list, every
+// Consistent-hash work sharding over dynamic membership. Every
 // canonical config hash has exactly one owner under rendezvous (HRW)
-// hashing: the peer whose (peer, hash) digest is highest. Rendezvous
-// hashing needs no ring state, and removing or adding one peer only
-// remaps the hashes that peer owned — the rest of the design space
-// stays put, and the content-addressed store makes any remapped hash a
-// cache hit anyway. A submission landing on a non-owner is mirrored
-// into a local proxy job that forwards to the owner and tracks the
-// remote run, so clients interact with any node uniformly; an
-// unreachable owner degrades to local execution.
+// hashing computed over the *live* members of the current view
+// (internal/cluster), so ownership recomputes on join/leave.
+// Rendezvous hashing needs no ring state, and removing or adding one
+// node only remaps the hashes that node owned — the rest of the design
+// space stays put, and the content-addressed store makes any remapped
+// hash a cache hit anyway. A submission landing on a non-owner is
+// mirrored into a local proxy job that forwards to the owner and
+// tracks the remote run, so clients interact with any node uniformly.
+// When the owner becomes unreachable mid-flight, the job hands off to
+// the next live node in HRW order — checking the local store first, in
+// case the owner's write-behind replica already landed — and only then
+// degrades to local execution. Either way the execution is counted;
+// never silently duplicated.
 
-// forwardHeader marks a request already forwarded by a peer. A
-// forwarded submission always resolves locally, bounding proxy chains
-// at one hop even when peers disagree about the peer list.
+// forwardHeader marks a request already forwarded by a peer. Its value
+// is "<senderID> <senderViewVersion> <hops>": the sender's cluster ID,
+// the membership view version it routed with, and how many forwarding
+// hops the request has taken. A receiver whose view is strictly newer
+// than the sender's may re-resolve ownership once (hops 1 -> 2);
+// hops >= 2 always resolves locally, bounding proxy chains even when
+// views disagree.
 const forwardHeader = "X-Nocstar-Forwarded"
 
-// isForwarded reports whether a peer forwarded this request.
-func isForwarded(r *http.Request) bool { return r.Header.Get(forwardHeader) != "" }
+// forwardInfo is the parsed forwardHeader.
+type forwardInfo struct {
+	forwarded bool
+	senderID  string
+	version   uint64
+	hops      int
+}
 
-// owner returns the peer base URL owning hash, or "" when this node
-// owns it (or sharding is disabled).
-func (s *Server) owner(hash string) string {
-	if len(s.peers) == 0 {
-		return ""
+// parseForward decodes the forward header. A malformed value is
+// treated as an exhausted forward (hops 2): resolve locally rather
+// than risk a proxy loop with a peer speaking a different dialect.
+func parseForward(r *http.Request) forwardInfo {
+	v := r.Header.Get(forwardHeader)
+	if v == "" {
+		return forwardInfo{}
 	}
-	best, bestScore := "", uint64(0)
-	for _, p := range s.peers {
-		h := fnv.New64a()
-		io.WriteString(h, p)
-		h.Write([]byte{0})
-		io.WriteString(h, hash)
-		score := h.Sum64()
-		// Ties break toward the lexically smaller peer so every node
-		// computes the same owner.
-		if best == "" || score > bestScore || (score == bestScore && p < best) {
-			best, bestScore = p, score
+	parts := strings.Fields(v)
+	if len(parts) != 3 {
+		return forwardInfo{forwarded: true, hops: 2}
+	}
+	ver, err1 := strconv.ParseUint(parts[1], 10, 64)
+	hops, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || hops < 1 {
+		return forwardInfo{forwarded: true, hops: 2}
+	}
+	return forwardInfo{forwarded: true, senderID: parts[0], version: ver, hops: hops}
+}
+
+// forwardValue renders the header this node attaches when proxying
+// with the given hop count.
+func (s *Server) forwardValue(hops int) string {
+	var ver uint64
+	if s.clu != nil {
+		ver = s.clu.Version()
+	}
+	return fmt.Sprintf("%s %d %d", s.nodeID, ver, hops)
+}
+
+// proxyTarget is one routing decision: the node to forward to and the
+// hop count to stamp on the forwarded request.
+type proxyTarget struct {
+	node cluster.Node
+	hops int
+}
+
+// route decides where a validated hash executes. Returns remote=false
+// for local execution. For first-hand submissions the target is the
+// HRW owner (or, when allowSpill is set and the gossiped view shows
+// the owner's queue saturated, its first less-loaded successor, with
+// hops exhausted so the successor runs it rather than bouncing it back
+// to the owner). For forwarded submissions the default is local — the
+// one-hop bound — except that a receiver with a strictly newer view
+// than the sender may re-resolve once: if its view names a third node
+// as owner (ownership moved mid-flight), the request follows the move
+// instead of being executed by a node that no longer owns the hash.
+func (s *Server) route(hash string, fwd forwardInfo, allowSpill bool) (proxyTarget, bool) {
+	if s.clu == nil {
+		return proxyTarget{}, false
+	}
+	self := s.clu.SelfID()
+	if fwd.forwarded {
+		if fwd.hops >= 2 {
+			return proxyTarget{}, false
+		}
+		if s.clu.Version() <= fwd.version {
+			return proxyTarget{}, false
+		}
+		owner, ok := s.clu.Owner(hash)
+		if !ok || owner.ID == self || owner.ID == fwd.senderID {
+			return proxyTarget{}, false
+		}
+		s.met.reresolved.Inc()
+		return proxyTarget{node: owner, hops: fwd.hops + 1}, true
+	}
+	owner, ok := s.clu.Owner(hash)
+	if !ok || owner.ID == self {
+		return proxyTarget{}, false
+	}
+	if allowSpill && owner.QueueCap > 0 && owner.QueueDepth >= owner.QueueCap {
+		for _, succ := range s.clu.Successors(hash, s.opts.Replicas+1) {
+			if succ.QueueCap > 0 && succ.QueueDepth >= succ.QueueCap {
+				continue
+			}
+			s.met.sweepSpilled.Inc()
+			if succ.ID == self {
+				return proxyTarget{}, false
+			}
+			// Hops exhausted: the successor must run the leg itself, not
+			// route it back to the owner we are spilling away from.
+			return proxyTarget{node: succ, hops: 2}, true
 		}
 	}
-	if best == s.self {
-		return ""
-	}
-	return best
+	return proxyTarget{node: owner, hops: 1}, true
 }
 
 // proxyPollInterval paces status polls against the owning peer.
 const proxyPollInterval = 50 * time.Millisecond
 
 // proxyClient is the HTTP client for peer traffic: connection reuse,
-// but a bounded per-call timeout so a hung peer degrades to local
-// execution instead of wedging the proxy job.
+// but a bounded per-call timeout so a hung peer degrades to handoff
+// instead of wedging the proxy job.
 var proxyClient = &http.Client{Timeout: 30 * time.Second}
 
-// proxyJob mirrors j onto its owning peer: the config is forwarded,
-// the remote run polled to a terminal state, and the outcome — result
-// bytes included, so they enter this node's store too — copied onto
-// the local job. Any transport-level failure falls back to executing
-// locally on the shared pool, so a dead peer costs latency, never
-// availability. Cancellation of the local job (DELETE, deadline,
-// shutdown) is relayed to the owner best-effort.
-func (s *Server) proxyJob(j *job, owner string) {
+// proxyJob mirrors j onto target: the config is forwarded, the remote
+// run polled to a terminal state, and the outcome — result bytes
+// included, so they enter this node's store too — copied onto the
+// local job. When the target becomes unreachable the job hands off:
+// first the local store is consulted (the owner's write-behind replica
+// may already hold the result — zero re-executions), then ownership is
+// re-resolved against the membership view (the failure report demotes
+// the dead node) and the run forwarded to the new owner; only when no
+// untried live owner remains does the job fall back to local
+// execution. Every path is counted. Cancellation of the local job
+// (DELETE, deadline, shutdown) is relayed to the remote best-effort.
+func (s *Server) proxyJob(j *job, target proxyTarget) {
 	j.setState(stateRunning, nil, "")
-	st, err := s.proxyRemote(j, owner)
+	st, err := s.proxyRemote(j, target)
 	if err == nil {
-		s.finishJob(j, jobState(st.State), st.Result, st.Error)
+		s.finishProxied(j, jobState(st.State), st.Result, st.Error, st.Cached)
 		return
 	}
 	if j.ctx.Err() != nil || j.terminal() {
-		// Canceled while proxying: nothing left to fall back for.
-		s.finishJob(j, stateCanceled, nil, "canceled by request")
+		// Canceled while proxying: nothing left to hand off for.
+		s.finishProxied(j, stateCanceled, nil, "canceled by request", false)
 		return
 	}
+	// Handoff step 1: the owner's write-behind replica may have landed
+	// here before the owner died. Serving it re-executes nothing.
+	if res, ok := s.results.Get(j.hash); ok {
+		s.met.proxyHandoff.Inc()
+		s.finishProxied(j, stateDone, res, "", true)
+		return
+	}
+	// Step 2: report the failure so ownership routes around the dead
+	// node immediately, then re-resolve.
+	s.clu.ReportFailure(target.node.ID)
+	if owner, ok := s.clu.Owner(j.hash); ok && owner.ID != s.clu.SelfID() && owner.ID != target.node.ID {
+		s.met.proxyHandoff.Inc()
+		// Hops exhausted: our view already demoted the dead node, but
+		// the new owner's may not have yet — it must run the job, not
+		// bounce it back toward the corpse.
+		st, err = s.proxyRemote(j, proxyTarget{node: owner, hops: 2})
+		if err == nil {
+			s.finishProxied(j, jobState(st.State), st.Result, st.Error, st.Cached)
+			return
+		}
+		if j.ctx.Err() != nil || j.terminal() {
+			s.finishProxied(j, stateCanceled, nil, "canceled by request", false)
+			return
+		}
+		s.clu.ReportFailure(owner.ID)
+	}
+	// Step 3: last resort — run it here. Counted, never silent.
 	s.met.proxyFallbck.Inc()
 	s.execJob(j)
 }
 
-// proxyRemote submits j's config to owner and follows the remote run to
-// a terminal status. Errors mean "owner unreachable or unusable" and
-// select the local fallback; a remote terminal status (even failed or
+// finishProxied finishes a proxy job. A done result enters the local
+// store (copy-on-proxy), but is not re-replicated: the executing node
+// already pushed it to the hash's successors.
+func (s *Server) finishProxied(j *job, state jobState, result json.RawMessage, msg string, cached bool) {
+	s.unregisterInflight(j)
+	if state == stateDone {
+		if err := s.results.Put(j.hash, result); err != nil {
+			s.met.storeErrors.Inc()
+		}
+	}
+	if cached {
+		j.mu.Lock()
+		j.cached = true
+		j.mu.Unlock()
+	}
+	j.setState(state, result, msg)
+	switch state {
+	case stateDone:
+		s.met.completed.Inc()
+	case stateCanceled:
+		s.met.canceledRun.Inc()
+	default:
+		s.met.failed.Inc()
+	}
+}
+
+// proxyRemote submits j's config to target and follows the remote run
+// to a terminal status. Errors mean "target unreachable or unusable"
+// and select handoff; a remote terminal status (even failed or
 // canceled) is returned as-is.
-func (s *Server) proxyRemote(j *job, owner string) (runStatus, error) {
+func (s *Server) proxyRemote(j *job, target proxyTarget) (runStatus, error) {
 	body, err := j.cfg.MarshalCanonical()
 	if err != nil {
 		return runStatus{}, err
 	}
-	submitURL := owner + "/v1/runs"
+	addr := target.node.Addr
+	submitURL := addr + "/v1/runs"
 	if j.timeout > 0 {
 		submitURL += "?timeout=" + url.QueryEscape(j.timeout.String())
 	}
-	st, code, err := s.proxyRequest(j.ctx, http.MethodPost, submitURL, body)
+	fwd := s.forwardValue(target.hops)
+	st, code, err := s.proxyRequest(j.ctx, http.MethodPost, submitURL, body, fwd)
 	if err != nil {
 		return runStatus{}, err
 	}
 	switch code {
 	case http.StatusOK, http.StatusAccepted:
 	default:
-		// 429/503/4xx from the owner: treat as unavailable for this
-		// hash and run locally.
-		return runStatus{}, fmt.Errorf("owner %s refused submission: status %d", owner, code)
+		// 429/503/4xx from the target: treat as unavailable for this
+		// hash and let the handoff path decide.
+		return runStatus{}, fmt.Errorf("peer %s refused submission: status %d", addr, code)
 	}
 	for !jobState(st.State).terminal() {
 		select {
 		case <-j.ctx.Done():
-			// Relay the cancellation so the owner stops simulating, on a
+			// Relay the cancellation so the remote stops simulating, on a
 			// fresh context (ours is the one that died).
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			req, err := http.NewRequestWithContext(ctx, http.MethodDelete, owner+"/v1/runs/"+st.ID, nil)
+			req, err := http.NewRequestWithContext(ctx, http.MethodDelete, addr+"/v1/runs/"+st.ID, nil)
 			if err == nil {
-				req.Header.Set(forwardHeader, s.self)
+				req.Header.Set(forwardHeader, s.forwardValue(2))
 				if resp, err := proxyClient.Do(req); err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
@@ -129,19 +267,19 @@ func (s *Server) proxyRemote(j *job, owner string) (runStatus, error) {
 			return runStatus{State: string(stateCanceled), Error: "canceled by request"}, nil
 		case <-time.After(proxyPollInterval):
 		}
-		st, code, err = s.proxyRequest(j.ctx, http.MethodGet, owner+"/v1/runs/"+st.ID, nil)
+		st, code, err = s.proxyRequest(j.ctx, http.MethodGet, addr+"/v1/runs/"+st.ID, nil, s.forwardValue(2))
 		if err != nil {
 			return runStatus{}, err
 		}
 		if code != http.StatusOK {
-			return runStatus{}, fmt.Errorf("owner %s lost run %s: status %d", owner, st.ID, code)
+			return runStatus{}, fmt.Errorf("peer %s lost run %s: status %d", addr, st.ID, code)
 		}
 	}
 	return st, nil
 }
 
 // proxyRequest performs one peer call and decodes the runStatus body.
-func (s *Server) proxyRequest(ctx context.Context, method, url string, body []byte) (runStatus, int, error) {
+func (s *Server) proxyRequest(ctx context.Context, method, url string, body []byte, fwd string) (runStatus, int, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -150,7 +288,7 @@ func (s *Server) proxyRequest(ctx context.Context, method, url string, body []by
 	if err != nil {
 		return runStatus{}, 0, err
 	}
-	req.Header.Set(forwardHeader, s.self)
+	req.Header.Set(forwardHeader, fwd)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

@@ -10,19 +10,30 @@
 // HTTP are byte-identical to a direct in-process system.Run of the same
 // Config.
 //
-// Horizontal scale: with a static peer list (Options.Peers/Node), each
-// canonical hash has exactly one owner under rendezvous hashing, and a
-// submission landing on a non-owner is transparently proxied to the
-// owner — N replicas each simulate a disjoint slice of the design space
-// while every replica serves any cached hash. An unreachable owner
-// degrades to local execution, never an error.
+// Horizontal scale: with a peer list (Options.Peers/Node), nodes form a
+// dynamic cluster over heartbeat-based membership (internal/cluster).
+// Each canonical hash has exactly one owner under rendezvous hashing
+// over the *live* membership view, so ownership recomputes on
+// join/leave instead of being frozen at process start. A submission
+// landing on a non-owner is transparently proxied to the owner; when
+// the owner becomes unreachable mid-flight, the submission hands off to
+// the next live node in HRW order (counted, never silently duplicated)
+// and only then degrades to local execution. Terminal results are
+// pushed write-behind to the hash's HRW successors (Options.Replicas),
+// so an owner death loses no hot results; and job IDs embed the minting
+// node and its epoch, so every /v1/runs/{id} endpoint resolves
+// non-local IDs by consulting the membership view — proxying to the
+// live owner or serving straight from the replicated store.
 //
 // Production plumbing: per-request run deadlines (?timeout=30s),
-// backpressure (a bounded queue that rejects with 429 when full),
-// graceful shutdown that drains in-flight runs, /healthz (503 while
-// draining, so load balancers stop routing), a bounded terminal-job
-// history, and /metrics exporting the internal/metrics counters in
-// Prometheus text format.
+// backpressure (a bounded local queue plus a cluster-wide sweep
+// admission budget fed by gossiped queue depths; both reject with 429
+// and Retry-After), graceful shutdown that drains in-flight runs,
+// /healthz (503 while draining, so load balancers stop routing), a
+// bounded terminal-job history, /v1/cluster exposing the membership
+// view and ownership previews, and /metrics exporting the
+// internal/metrics counters in Prometheus text format. Every non-2xx
+// response uses the unified error envelope (see errors.go).
 package server
 
 import (
@@ -32,6 +43,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +51,7 @@ import (
 
 	"context"
 
+	"nocstar/internal/cluster"
 	"nocstar/internal/experiments"
 	"nocstar/internal/metrics"
 	"nocstar/internal/runner"
@@ -76,14 +89,28 @@ type Options struct {
 	// many jobs have reached a terminal state, the oldest are evicted
 	// from the registry (their IDs 404). <= 0 selects 512.
 	JobHistory int
-	// Node and Peers enable consistent-hash work sharding. Peers is the
-	// full static list of replica base URLs (including this node); Node
-	// is this replica's own entry. Each canonical config hash is owned
-	// by exactly one peer under rendezvous (HRW) hashing; submissions
-	// for a hash owned elsewhere are transparently proxied. Empty Peers
-	// disables sharding.
+	// Node and Peers enable clustering. Peers seeds the membership
+	// (base URLs; more members are learned via heartbeat gossip, so
+	// the list need not be complete); Node is this replica's own base
+	// URL and must be reachable by peers. Empty Peers disables
+	// clustering.
 	Node  string
 	Peers []string
+	// HeartbeatInterval paces membership heartbeats (<= 0 selects 1s).
+	HeartbeatInterval time.Duration
+	// SuspectAfter and DeadAfter are the membership silence deadlines
+	// (<= 0 selects 3x and 8x HeartbeatInterval).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Replicas is the number of HRW successors every terminal result
+	// is pushed to write-behind (0 selects 2, < 0 disables).
+	Replicas int
+	// ClusterQueueBudget bounds the aggregate queued jobs a sweep may
+	// add cluster-wide: admission compares the gossiped queue depths
+	// plus the sweep size against this budget and rejects with 429
+	// when exceeded. <= 0 derives the budget from the live members'
+	// summed queue capacities.
+	ClusterQueueBudget int
 	// MaxRunDuration caps every run's wall-clock execution, counted
 	// from submission. 0 leaves runs uncapped; requests may always set
 	// a tighter deadline with ?timeout=.
@@ -113,6 +140,15 @@ func (o Options) normalized() Options {
 	if o.Shards < 0 {
 		o.Shards = 0
 	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	switch {
+	case o.Replicas == 0:
+		o.Replicas = 2
+	case o.Replicas < 0:
+		o.Replicas = 0
+	}
 	return o
 }
 
@@ -130,18 +166,34 @@ type serverMetrics struct {
 	canceledRun  *metrics.AtomicCounter
 	proxied      *metrics.AtomicCounter
 	proxyFallbck *metrics.AtomicCounter
+	proxyHandoff *metrics.AtomicCounter
+	reresolved   *metrics.AtomicCounter
+	remoteGets   *metrics.AtomicCounter
 	sweepConfigs *metrics.AtomicCounter
+	sweepSpilled *metrics.AtomicCounter
+	sweepBounced *metrics.AtomicCounter
+	replicaPush  *metrics.AtomicCounter
+	replicaRecv  *metrics.AtomicCounter
+	replicaErrs  *metrics.AtomicCounter
 	storeErrors  *metrics.AtomicCounter
 }
 
 // Server is the resident simulation service. Create with New, mount
 // Handler on an http.Server, and stop with Shutdown.
 type Server struct {
-	opts  Options
-	pool  *runner.Runner
-	mux   *http.ServeMux
-	peers []string // normalized peer base URLs; empty = unsharded
-	self  string   // this node's entry in peers
+	opts Options
+	pool *runner.Runner
+	mux  *http.ServeMux
+
+	// clu tracks dynamic membership; nil when clustering is disabled.
+	clu *cluster.Membership
+	// nodeID and epochToken identify this process incarnation; every
+	// job ID minted here embeds both, so any cluster node can route
+	// the ID back (or detect that the incarnation is gone).
+	nodeID     string
+	epoch      int64
+	epochToken string
+	self       string // this node's base URL ("" when unclustered)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -163,10 +215,10 @@ type Server struct {
 	met serverMetrics
 }
 
-// New builds a server and starts its worker pool. It fails when the
-// persistent store directory cannot be opened or the peer list is
-// inconsistent (a non-empty Peers requires Node to be one of its
-// entries).
+// New builds a server and starts its worker pool (and, when Peers is
+// non-empty, its membership heartbeats). It fails when the persistent
+// store directory cannot be opened or the peer list is inconsistent (a
+// non-empty Peers requires Node).
 func New(opts Options) (*Server, error) {
 	opts = opts.normalized()
 	results := opts.Store
@@ -189,7 +241,6 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:     opts,
 		pool:     runner.New(opts.Workers),
-		peers:    peers,
 		self:     self,
 		queue:    make(chan *job, opts.QueueDepth),
 		jobs:     map[string]*job{},
@@ -199,6 +250,34 @@ func New(opts Options) (*Server, error) {
 	}
 	s.pool.SetShards(opts.Shards)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if len(peers) > 0 {
+		s.clu = cluster.New(cluster.Options{
+			Self:         self,
+			Seeds:        peers,
+			Interval:     opts.HeartbeatInterval,
+			SuspectAfter: opts.SuspectAfter,
+			DeadAfter:    opts.DeadAfter,
+			StatsFunc: func() cluster.Stats {
+				return cluster.Stats{
+					QueueDepth:   len(s.queue),
+					QueueCap:     opts.QueueDepth,
+					StoreEntries: s.results.Len(),
+				}
+			},
+		})
+		s.nodeID = s.clu.SelfID()
+		s.epoch = s.clu.Epoch()
+	} else {
+		// Unclustered nodes still mint namespaced IDs so the API shape
+		// is uniform; the identity is synthetic but the epoch is real.
+		id := opts.Node
+		if id == "" {
+			id = "local"
+		}
+		s.nodeID = cluster.NodeID(id)
+		s.epoch = time.Now().UnixNano()
+	}
+	s.epochToken = epochToken(s.epoch)
 	s.met = serverMetrics{
 		requests:     s.reg.AtomicCounter("server.http.requests"),
 		submitted:    s.reg.AtomicCounter("server.runs.submitted"),
@@ -212,7 +291,15 @@ func New(opts Options) (*Server, error) {
 		canceledRun:  s.reg.AtomicCounter("server.runs.canceled"),
 		proxied:      s.reg.AtomicCounter("server.runs.proxied"),
 		proxyFallbck: s.reg.AtomicCounter("server.proxy.fallback"),
+		proxyHandoff: s.reg.AtomicCounter("server.proxy.handoff"),
+		reresolved:   s.reg.AtomicCounter("server.proxy.reresolved"),
+		remoteGets:   s.reg.AtomicCounter("server.runs.remote_resolved"),
 		sweepConfigs: s.reg.AtomicCounter("server.sweep.configs"),
+		sweepSpilled: s.reg.AtomicCounter("server.sweep.spilled"),
+		sweepBounced: s.reg.AtomicCounter("server.sweep.admission_rejected"),
+		replicaPush:  s.reg.AtomicCounter("server.replica.pushed"),
+		replicaRecv:  s.reg.AtomicCounter("server.replica.received"),
+		replicaErrs:  s.reg.AtomicCounter("server.replica.errors"),
 		storeErrors:  s.reg.AtomicCounter("server.store.errors"),
 	}
 	s.routes()
@@ -220,32 +307,38 @@ func New(opts Options) (*Server, error) {
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
+	if s.clu != nil {
+		s.clu.Start()
+	}
 	return s, nil
 }
 
-// normalizePeers canonicalizes the static peer list (trailing slashes
-// trimmed, empties dropped) and locates this node's own entry.
+// epochToken renders a process epoch as the compact base-36 token job
+// IDs embed.
+func epochToken(epoch int64) string {
+	return strconv.FormatInt(epoch, 36)
+}
+
+// normalizePeers canonicalizes the peer seed list (trailing slashes
+// trimmed, empties dropped) and this node's own base URL. Unlike the
+// static-sharding era the list is only a seed: membership is dynamic,
+// and Node need not appear in Peers.
 func normalizePeers(peers []string, node string) ([]string, string, error) {
 	var out []string
+	self := strings.TrimRight(strings.TrimSpace(node), "/")
 	for _, p := range peers {
 		p = strings.TrimRight(strings.TrimSpace(p), "/")
-		if p != "" {
+		if p != "" && p != self {
 			out = append(out, p)
 		}
 	}
 	if len(out) == 0 {
-		return nil, "", nil
+		return nil, self, nil
 	}
-	self := strings.TrimRight(strings.TrimSpace(node), "/")
 	if self == "" {
-		return nil, "", fmt.Errorf("server: -peers requires -node (this replica's own peer entry)")
+		return nil, "", fmt.Errorf("server: -peers requires -node (this replica's reachable base URL)")
 	}
-	for _, p := range out {
-		if p == self {
-			return out, self, nil
-		}
-	}
-	return nil, "", fmt.Errorf("server: node %q is not in the peer list %v", self, out)
+	return out, self, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -266,15 +359,22 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("PUT /v1/store/{hash}", s.handleStorePut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.clu != nil {
+		s.mux.HandleFunc("POST /v1/cluster/heartbeat", s.clu.HandleHeartbeat)
+	}
 }
 
 // Shutdown gracefully stops the server: submissions are refused with
 // 503, queued and running jobs (including proxied ones) drain to
-// completion, and the worker pool exits. If ctx expires first, every
-// remaining run is canceled (they stop at the next context-poll stride)
-// and Shutdown returns ctx's error once the pool exits.
+// completion, and the worker pool exits. Heartbeats stop immediately,
+// so live peers route new work around this node while it drains. If
+// ctx expires first, every remaining run is canceled (they stop at the
+// next context-poll stride) and Shutdown returns ctx's error once the
+// pool exits.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -282,6 +382,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	if s.clu != nil {
+		s.clu.Stop()
+	}
 
 	drained := make(chan struct{})
 	go func() {
@@ -349,14 +452,16 @@ func (s *Server) execJob(j *job) {
 }
 
 // finishJob moves j to a terminal state: it leaves the singleflight
-// registry, a done result enters the content-addressed store, and the
-// outcome counters advance.
+// registry, a done result enters the content-addressed store (and is
+// pushed write-behind to the hash's HRW successors), and the outcome
+// counters advance.
 func (s *Server) finishJob(j *job, state jobState, result json.RawMessage, msg string) {
 	s.unregisterInflight(j)
 	if state == stateDone {
 		if err := s.results.Put(j.hash, result); err != nil {
 			s.met.storeErrors.Inc()
 		}
+		s.replicate(j.hash, result)
 	}
 	j.setState(state, result, msg)
 	switch state {
@@ -380,10 +485,17 @@ func (s *Server) unregisterInflight(j *job) {
 }
 
 // newJob constructs a job (not yet registered) with its execution
-// context.
+// context. IDs are namespaced cluster-wide:
+//
+//	<nodeID>-<epoch36>-<seq>-<canonical hash>
+//
+// so any node can route an ID back to the node (and incarnation) that
+// minted it, and — because the full canonical hash rides along — serve
+// the result straight from the replicated store when that node is gone.
 func (s *Server) newJob(hash string, cfg system.Config, timeout time.Duration) *job {
 	j := &job{
-		id:    fmt.Sprintf("run-%06d-%s", s.seq.Add(1), hash[:12]),
+		id:    fmt.Sprintf("%s-%s-%06d-%s", s.nodeID, s.epochToken, s.seq.Add(1), hash),
+		node:  s.nodeID,
 		hash:  hash,
 		cfg:   cfg,
 		done:  make(chan struct{}),
@@ -398,11 +510,24 @@ func (s *Server) newJob(hash string, cfg system.Config, timeout time.Duration) *
 	return j
 }
 
-// submitError is the 400 response body: a top-level message plus the
-// typed per-field errors from Config.Validate when available.
-type submitError struct {
-	Error  string              `json:"error"`
-	Fields []system.FieldError `json:"fields,omitempty"`
+// parseJobID splits a namespaced job ID into its minting node, epoch
+// token, and canonical hash. It rejects strings that do not fit the
+// scheme.
+func parseJobID(id string) (nodeID, epoch, hash string, ok bool) {
+	parts := strings.SplitN(id, "-", 4)
+	if len(parts) != 4 {
+		return "", "", "", false
+	}
+	nodeID, epoch, hash = parts[0], parts[1], parts[3]
+	if len(nodeID) != 16 || epoch == "" || len(hash) < 4 || len(hash) > 128 {
+		return "", "", "", false
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", "", "", false
+		}
+	}
+	return nodeID, epoch, hash, true
 }
 
 // Sentinel outcomes of acquire, mapped to HTTP statuses by handlers.
@@ -421,18 +546,20 @@ const (
 	acqJoined
 	// acqQueued: a fresh job entered the bounded queue.
 	acqQueued
-	// acqProxied: the hash is owned by a peer; a proxy job mirrors the
-	// remote execution.
+	// acqProxied: the hash is owned by (or spilled to) a peer; a proxy
+	// job mirrors the remote execution.
 	acqProxied
 )
 
 // acquire resolves a validated config to a job: a store hit is born
-// done, an identical live job is joined, a hash owned by a peer is
-// transparently proxied (unless the request was already forwarded by a
-// peer — forwarded requests always resolve locally, which bounds any
-// proxy chain at one hop), and otherwise a fresh job enters the bounded
-// queue. The returned errors are errDraining and errQueueFull.
-func (s *Server) acquire(cfg system.Config, hash string, timeout time.Duration, forwarded bool) (*job, acquisition, error) {
+// done, an identical live job is joined, a hash owned by a live peer is
+// transparently proxied (with forwarded requests allowed one re-resolve
+// against a newer membership view before resolving locally — see
+// route), and otherwise a fresh job enters the bounded queue. allowSpill
+// permits routing a leg to the owner's HRW successor when the gossiped
+// view shows the owner's queue saturated. The returned errors are
+// errDraining and errQueueFull.
+func (s *Server) acquire(cfg system.Config, hash string, timeout time.Duration, fwd forwardInfo, allowSpill bool) (*job, acquisition, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -459,6 +586,9 @@ func (s *Server) acquire(cfg system.Config, hash string, timeout time.Duration, 
 		return j, acqCached, nil
 	}
 
+	// Routing happens outside s.mu: it reads the membership view.
+	target, remote := s.route(hash, fwd, allowSpill)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -470,7 +600,7 @@ func (s *Server) acquire(cfg system.Config, hash string, timeout time.Duration, 
 		s.met.deduped.Inc()
 		return live, acqJoined, nil
 	}
-	if owner := s.owner(hash); owner != "" && !forwarded {
+	if remote {
 		j := s.newJob(hash, cfg, timeout)
 		s.registerLocked(j)
 		s.inflight[hash] = j
@@ -478,7 +608,7 @@ func (s *Server) acquire(cfg system.Config, hash string, timeout time.Duration, 
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.proxyJob(j, owner)
+			s.proxyJob(j, target)
 		}()
 		return j, acqProxied, nil
 	}
@@ -515,47 +645,49 @@ func (s *Server) parseTimeout(r *http.Request) (time.Duration, error) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("reading body: %v", err)})
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
 	cfg, err := system.UnmarshalConfig(body)
 	if err != nil {
 		s.met.invalid.Inc()
-		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeInvalidConfig, err.Error())
 		return
 	}
 	if err := cfg.Validate(); err != nil {
 		s.met.invalid.Inc()
-		resp := submitError{Error: "invalid config"}
+		msg := "invalid config"
+		var fields []system.FieldError
 		var ve *system.ValidationError
 		if errors.As(err, &ve) {
-			resp.Fields = ve.Fields
+			fields = ve.Fields
 		} else {
-			resp.Error = err.Error()
+			msg = err.Error()
 		}
-		writeJSON(w, http.StatusBadRequest, resp)
+		writeErrorFields(w, http.StatusBadRequest, codeInvalidConfig, msg, fields)
 		return
 	}
 	hash, err := cfg.CanonicalHash()
 	if err != nil {
 		s.met.invalid.Inc()
-		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeInvalidConfig, err.Error())
 		return
 	}
 	timeout, err := s.parseTimeout(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 
-	j, how, err := s.acquire(cfg, hash, timeout, isForwarded(r))
+	j, how, err := s.acquire(cfg, hash, timeout, parseForward(r), false)
 	switch {
 	case errors.Is(err, errDraining):
-		writeJSON(w, http.StatusServiceUnavailable, submitError{Error: "server is shutting down"})
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is shutting down")
 		return
 	case errors.Is(err, errQueueFull):
-		writeJSON(w, http.StatusTooManyRequests, submitError{
-			Error: fmt.Sprintf("queue full (%d jobs waiting); retry later", s.opts.QueueDepth)})
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, codeQueueFull,
+			fmt.Sprintf("queue full (%d jobs waiting); retry later", s.opts.QueueDepth))
 		return
 	}
 	switch how {
@@ -614,12 +746,12 @@ func (s *Server) lookup(id string) (*job, bool) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(r.PathValue("id"))
-	if !ok {
-		writeJSON(w, http.StatusNotFound, submitError{Error: "no such run"})
+	id := r.PathValue("id")
+	if j, ok := s.lookup(id); ok {
+		writeJSON(w, http.StatusOK, j.status(true))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status(true))
+	s.resolveRemoteGet(w, r, id)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -633,9 +765,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.lookup(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, submitError{Error: "no such run"})
+		s.resolveRemoteCancel(w, r, id)
 		return
 	}
 	j.cancel()
@@ -652,14 +785,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.lookup(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, submitError{Error: "no such run"})
+		s.resolveRemoteEvents(w, r, id)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, submitError{Error: "streaming unsupported"})
+		writeError(w, http.StatusInternalServerError, codeInternal, "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -725,6 +859,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// health check too, or load balancers keep routing to it.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	members := 1
+	if s.clu != nil {
+		members = len(s.clu.View().Nodes)
+	}
 	writeJSON(w, code, map[string]any{
 		"status":    status,
 		"workers":   s.opts.Workers,
@@ -733,8 +871,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queue_cap": s.opts.QueueDepth,
 		"jobs":      jobs,
 		"cached":    s.results.Len(),
-		"node":      s.self,
-		"peers":     len(s.peers),
+		"node":      s.nodeID,
+		"epoch":     s.epochToken,
+		"addr":      s.self,
+		"members":   members,
 	})
 }
 
@@ -749,6 +889,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE nocstar_pool_submitted counter\nnocstar_pool_submitted %d\n", p.Submitted)
 	fmt.Fprintf(w, "# TYPE nocstar_pool_completed counter\nnocstar_pool_completed %d\n", p.Completed)
 	fmt.Fprintf(w, "# TYPE nocstar_pool_deduped counter\nnocstar_pool_deduped %d\n", p.Deduped)
+	// Membership gauges: the live view in numbers.
+	if s.clu != nil {
+		v := s.clu.View()
+		counts := map[cluster.State]int{}
+		depth := 0
+		for _, n := range v.Nodes {
+			counts[n.State]++
+			if n.State == cluster.StateAlive {
+				depth += n.QueueDepth
+			}
+		}
+		fmt.Fprintf(w, "# TYPE nocstar_cluster_view_version gauge\nnocstar_cluster_view_version %d\n", v.Version)
+		fmt.Fprintf(w, "# TYPE nocstar_cluster_members_alive gauge\nnocstar_cluster_members_alive %d\n", counts[cluster.StateAlive])
+		fmt.Fprintf(w, "# TYPE nocstar_cluster_members_suspect gauge\nnocstar_cluster_members_suspect %d\n", counts[cluster.StateSuspect])
+		fmt.Fprintf(w, "# TYPE nocstar_cluster_members_dead gauge\nnocstar_cluster_members_dead %d\n", counts[cluster.StateDead])
+		fmt.Fprintf(w, "# TYPE nocstar_cluster_queue_depth gauge\nnocstar_cluster_queue_depth %d\n", depth)
+	}
 }
 
 // writeJSON writes a JSON response with the given status. No indenting:

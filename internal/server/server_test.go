@@ -1,21 +1,23 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"net/http/httptest"
-	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"nocstar/client"
 	"nocstar/internal/system"
 )
+
+// The e2e tests drive the server exclusively through the public typed
+// client package, so every assertion here also exercises the client's
+// encoding, error mapping, and streaming paths.
 
 // smallConfig finishes in well under a second; seed varies the run so
 // tests that must avoid dedup can diverge.
@@ -36,7 +38,7 @@ func endlessConfig(seed int64) string {
 	}`, seed)
 }
 
-func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+func newTestServer(t *testing.T, opts Options) (*Server, *client.Client) {
 	t.Helper()
 	srv, err := New(opts)
 	if err != nil {
@@ -49,50 +51,21 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 		defer cancel()
 		srv.Shutdown(ctx)
 	})
-	return srv, ts
+	return srv, client.New(ts.URL)
 }
 
-func postRun(t *testing.T, base, body string) (int, runStatus) {
+func ctxT(t *testing.T) context.Context {
 	t.Helper()
-	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var st runStatus
-	if resp.StatusCode < 300 {
-		if err := json.Unmarshal(raw, &st); err != nil {
-			t.Fatalf("decoding %s: %v", raw, err)
-		}
-	}
-	return resp.StatusCode, st
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
 }
 
-func pollUntilTerminal(t *testing.T, base, id string) runStatus {
+// mustCancel cancels a run, failing the test on transport errors.
+func mustCancel(t *testing.T, c *client.Client, id string) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Minute)
-	for {
-		resp, err := http.Get(base + "/v1/runs/" + id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var st runStatus
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if jobState(st.State).terminal() {
-			return st
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("run %s stuck in state %q", id, st.State)
-		}
-		time.Sleep(20 * time.Millisecond)
+	if _, err := c.Cancel(ctxT(t), id); err != nil {
+		t.Fatalf("cancel %s: %v", id, err)
 	}
 }
 
@@ -100,7 +73,8 @@ func pollUntilTerminal(t *testing.T, base, id string) runStatus {
 // result served over HTTP is byte-for-byte the marshaled Result of a
 // direct in-process Run of the same config.
 func TestSubmitPollByteIdentical(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 2})
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := ctxT(t)
 	body := smallConfig(1)
 
 	cfg, err := system.UnmarshalConfig([]byte(body))
@@ -116,12 +90,18 @@ func TestSubmitPollByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	code, st := postRun(t, ts.URL, body)
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
+	st, err := c.SubmitRunJSON(ctx, []byte(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
-	final := pollUntilTerminal(t, ts.URL, st.ID)
-	if final.State != string(stateDone) {
+	if st.Terminal() {
+		t.Fatalf("fresh submission born terminal: %s", st.State)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateDone {
 		t.Fatalf("run ended %s: %s", final.State, final.Error)
 	}
 	if !bytes.Equal(final.Result, want) {
@@ -129,22 +109,32 @@ func TestSubmitPollByteIdentical(t *testing.T) {
 	}
 
 	// Resubmission is a cache hit with the same bytes.
-	code, again := postRun(t, ts.URL, body)
-	if code != http.StatusOK || !again.Cached {
-		t.Fatalf("resubmit: status %d cached=%v", code, again.Cached)
+	again, err := c.SubmitRunJSON(ctx, []byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("resubmit not served from cache: %+v", again)
 	}
 	if !bytes.Equal(again.Result, want) {
 		t.Fatal("cached result differs from direct run")
 	}
+
+	// The typed decode round-trips too.
+	var res system.Result
+	if err := final.Decode(&res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
 }
 
-// TestSubmitFabricConfig pushes the new fabric knobs through the full
-// HTTP path: a torus-topology, annealed-placement distributed config
-// must round-trip the decoder, simulate, and serve bytes identical to
-// the direct run — and a config differing only in placement seed must
+// TestSubmitFabricConfig pushes the fabric knobs through the full HTTP
+// path: a torus-topology, annealed-placement distributed config must
+// round-trip the decoder, simulate, and serve bytes identical to the
+// direct run — and a config differing only in placement seed must
 // occupy its own cache entry.
 func TestSubmitFabricConfig(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 2})
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := ctxT(t)
 	fabricConfig := func(placementSeed int64) string {
 		return fmt.Sprintf(`{
 		"schema": 3, "org": "distributed", "cores": 8,
@@ -168,12 +158,15 @@ func TestSubmitFabricConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	code, st := postRun(t, ts.URL, body)
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
+	st, err := c.SubmitRunJSON(ctx, []byte(body))
+	if err != nil {
+		t.Fatal(err)
 	}
-	final := pollUntilTerminal(t, ts.URL, st.ID)
-	if final.State != string(stateDone) {
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateDone {
 		t.Fatalf("run ended %s: %s", final.State, final.Error)
 	}
 	if !bytes.Equal(final.Result, want) {
@@ -181,20 +174,24 @@ func TestSubmitFabricConfig(t *testing.T) {
 	}
 
 	// A different placement seed is a different simulation, not a cache hit.
-	code, other := postRun(t, ts.URL, fabricConfig(5))
-	if code != http.StatusAccepted {
-		t.Fatalf("distinct placement seed served from cache (status %d)", code)
+	other, err := c.SubmitRunJSON(ctx, []byte(fabricConfig(5)))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if done := pollUntilTerminal(t, ts.URL, other.ID); done.State != string(stateDone) {
-		t.Fatalf("seed-5 run ended %s: %s", done.State, done.Error)
+	if other.Cached {
+		t.Fatal("distinct placement seed served from cache")
+	}
+	if done, err := c.Wait(ctx, other.ID); err != nil || done.State != client.StateDone {
+		t.Fatalf("seed-5 run: %v %+v", err, done)
 	}
 }
 
 // TestConcurrentDuplicatesSingleflight hammers one config from many
 // goroutines and checks exactly one simulation executed.
 func TestConcurrentDuplicatesSingleflight(t *testing.T) {
-	srv, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 64})
-	body := smallConfig(2)
+	srv, c := newTestServer(t, Options{Workers: 4, QueueDepth: 64})
+	ctx := ctxT(t)
+	body := []byte(smallConfig(2))
 
 	const clients = 16
 	ids := make([]string, clients)
@@ -203,14 +200,8 @@ func TestConcurrentDuplicatesSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+			st, err := c.SubmitRunJSON(ctx, body)
 			if err != nil {
-				t.Error(err)
-				return
-			}
-			defer resp.Body.Close()
-			var st runStatus
-			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 				t.Error(err)
 				return
 			}
@@ -220,12 +211,18 @@ func TestConcurrentDuplicatesSingleflight(t *testing.T) {
 	wg.Wait()
 
 	// Every submission resolved to the same job (or a cache hit on it).
-	final := pollUntilTerminal(t, ts.URL, ids[0])
-	if final.State != string(stateDone) {
+	final, err := c.Wait(ctx, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateDone {
 		t.Fatalf("run ended %s: %s", final.State, final.Error)
 	}
 	for _, id := range ids {
-		st := pollUntilTerminal(t, ts.URL, id)
+		st, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !bytes.Equal(st.Result, final.Result) {
 			t.Fatalf("job %s result differs", id)
 		}
@@ -235,29 +232,24 @@ func TestConcurrentDuplicatesSingleflight(t *testing.T) {
 	}
 }
 
-// TestCancellation submits an effectively endless run and checks DELETE
+// TestCancellation submits an effectively endless run and checks Cancel
 // stops it promptly.
 func TestCancellation(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
-	code, st := postRun(t, ts.URL, endlessConfig(3))
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
-	}
-	time.Sleep(100 * time.Millisecond) // let the worker get into the run
-
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+st.ID, nil)
-	resp, err := http.DefaultClient.Do(req)
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := ctxT(t)
+	st, err := c.SubmitRunJSON(ctx, []byte(endlessConfig(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel: status %d", resp.StatusCode)
-	}
+	time.Sleep(100 * time.Millisecond) // let the worker get into the run
 
+	mustCancel(t, c, st.ID)
 	start := time.Now()
-	final := pollUntilTerminal(t, ts.URL, st.ID)
-	if final.State != string(stateCanceled) {
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateCanceled {
 		t.Fatalf("run ended %s, want canceled", final.State)
 	}
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
@@ -265,193 +257,207 @@ func TestCancellation(t *testing.T) {
 	}
 }
 
-// TestRunTimeout checks the ?timeout= deadline cancels a run on its own.
+// TestRunTimeout checks the WithTimeout deadline cancels a run on its
+// own.
 func TestRunTimeout(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
-	code, st := postRun(t, ts.URL+"", endlessConfig(4))
-	_ = st
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
-	}
-	// A second distinct endless run with a short deadline.
-	resp, err := http.Post(ts.URL+"/v1/runs?timeout=200ms", "application/json",
-		strings.NewReader(endlessConfig(5)))
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := ctxT(t)
+	blocker, err := c.SubmitRunJSON(ctx, []byte(endlessConfig(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var timed runStatus
-	if err := json.NewDecoder(resp.Body).Decode(&timed); err != nil {
+	// A second distinct endless run with a short deadline.
+	timed, err := c.SubmitRunJSON(ctx, []byte(endlessConfig(5)), client.WithTimeout(200*time.Millisecond))
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 
 	// Free the single worker so the timed run gets scheduled.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+st.ID, nil)
-	if resp, err := http.DefaultClient.Do(req); err == nil {
-		resp.Body.Close()
-	}
+	mustCancel(t, c, blocker.ID)
 
-	final := pollUntilTerminal(t, ts.URL, timed.ID)
-	if final.State != string(stateCanceled) {
+	final, err := c.Wait(ctx, timed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateCanceled {
 		t.Fatalf("deadlined run ended %s (%s), want canceled", final.State, final.Error)
 	}
-	if !strings.Contains(final.Error, "deadline") {
+	if !bytes.Contains([]byte(final.Error), []byte("deadline")) {
 		t.Fatalf("error %q does not mention the deadline", final.Error)
 	}
 }
 
-// TestValidationErrors checks malformed and invalid configs map to 400
-// with typed field errors.
+// TestValidationErrors checks malformed and invalid configs map to the
+// typed invalid_config error with per-field diagnoses.
 func TestValidationErrors(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := ctxT(t)
 
 	// Invalid config: missing cores, zero threads.
-	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
-		strings.NewReader(`{"schema": 1, "org": "nocstar", "apps": [{"workload": "gups", "threads": 0}]}`))
-	if err != nil {
-		t.Fatal(err)
+	_, err := c.SubmitRunJSON(ctx,
+		[]byte(`{"schema": 1, "org": "nocstar", "apps": [{"workload": "gups", "threads": 0}]}`))
+	if !errors.Is(err, client.ErrInvalidConfig) {
+		t.Fatalf("invalid config error: %v, want ErrInvalidConfig", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("invalid config: status %d, want 400", resp.StatusCode)
-	}
-	var se struct {
-		Error  string              `json:"error"`
-		Fields []system.FieldError `json:"fields"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&se); err != nil {
-		t.Fatal(err)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T is not *client.APIError", err)
 	}
 	fields := map[string]bool{}
-	for _, f := range se.Fields {
+	for _, f := range apiErr.Fields {
 		fields[f.Field] = true
 	}
 	if !fields["Cores"] || !fields["Apps[0].Threads"] {
-		t.Fatalf("400 body missing typed field errors: %+v", se)
+		t.Fatalf("typed field errors missing: %+v", apiErr.Fields)
 	}
 
-	// Unknown field: decode-level rejection, still 400.
-	resp2, err := http.Post(ts.URL+"/v1/runs", "application/json",
-		strings.NewReader(`{"org": "nocstar", "coars": 4}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown field: status %d, want 400", resp2.StatusCode)
+	// Unknown field: decode-level rejection, still invalid_config.
+	_, err = c.SubmitRunJSON(ctx, []byte(`{"org": "nocstar", "coars": 4}`))
+	if !errors.Is(err, client.ErrInvalidConfig) {
+		t.Fatalf("unknown field error: %v, want ErrInvalidConfig", err)
 	}
 
 	// Bad timeout parameter.
-	resp3, err := http.Post(ts.URL+"/v1/runs?timeout=soon", "application/json",
-		strings.NewReader(smallConfig(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp3.Body.Close()
-	if resp3.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad timeout: status %d, want 400", resp3.StatusCode)
+	_, err = c.SubmitRunJSON(ctx, []byte(smallConfig(1)), client.WithTimeout(-1*time.Second))
+	if !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("bad timeout error: %v, want ErrBadRequest", err)
 	}
 }
 
 // TestQueueFull checks backpressure: with one worker and a one-slot
-// queue, a burst of distinct long runs sees 429s.
+// queue, a burst of distinct long runs sees typed queue-full errors
+// with Retry-After.
 func TestQueueFull(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	_, c := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	ctx := ctxT(t)
 	var accepted []string
 	rejected := 0
 	for seed := int64(10); seed < 15; seed++ {
-		code, st := postRun(t, ts.URL, endlessConfig(seed))
-		switch code {
-		case http.StatusAccepted:
+		st, err := c.SubmitRunJSON(ctx, []byte(endlessConfig(seed)))
+		switch {
+		case err == nil:
 			accepted = append(accepted, st.ID)
-		case http.StatusTooManyRequests:
+		case errors.Is(err, client.ErrQueueFull):
 			rejected++
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) && apiErr.RetryAfter <= 0 {
+				t.Fatalf("queue-full error missing Retry-After: %v", err)
+			}
 		default:
-			t.Fatalf("unexpected status %d", code)
+			t.Fatalf("unexpected error %v", err)
 		}
 	}
 	if len(accepted) == 0 || rejected == 0 {
-		t.Fatalf("want a mix of accepted and 429, got %d accepted, %d rejected",
+		t.Fatalf("want a mix of accepted and queue-full, got %d accepted, %d rejected",
 			len(accepted), rejected)
 	}
 	// Unblock the pool so Cleanup's drain does not wait on endless runs.
 	for _, id := range accepted {
-		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
-		if resp, err := http.DefaultClient.Do(req); err == nil {
-			resp.Body.Close()
-		}
+		mustCancel(t, c, id)
 	}
 }
 
-// TestEvents streams SSE frames and checks the stream replays the
-// current state and closes on a terminal one.
+// TestEvents checks Wait's SSE path follows a live run to its terminal
+// state (the client prefers the event stream and only falls back to
+// polling when streaming is unavailable).
 func TestEvents(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
-	code, st := postRun(t, ts.URL, smallConfig(6))
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
-	}
-	resp, err := http.Get(ts.URL + "/v1/runs/" + st.ID + "/events")
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := ctxT(t)
+	st, err := c.SubmitRunJSON(ctx, []byte(smallConfig(6)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
-		t.Fatalf("content type %q", ct)
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
 	}
-	var states []string
-	scanner := bufio.NewScanner(resp.Body)
-	for scanner.Scan() {
-		line := scanner.Text()
-		if !strings.HasPrefix(line, "data: ") {
-			continue
-		}
-		var ev jobEvent
-		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-			t.Fatal(err)
-		}
-		states = append(states, ev.State)
+	if final.State != client.StateDone {
+		t.Fatalf("run ended %s: %s", final.State, final.Error)
 	}
-	if len(states) == 0 {
-		t.Fatal("no SSE frames received")
-	}
-	last := states[len(states)-1]
-	if !jobState(last).terminal() {
-		t.Fatalf("stream ended on non-terminal state %q (saw %v)", last, states)
+	if len(final.Result) == 0 {
+		t.Fatal("terminal status has no result payload")
 	}
 }
 
-// TestReadEndpoints smokes the read-only surface.
+// TestReadEndpoints smokes the read-only surface through the client.
 func TestReadEndpoints(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
-	for _, tc := range []struct{ path, want string }{
-		{"/healthz", `"status":"ok"`},
-		{"/v1/workloads", "canneal"},
-		{"/v1/experiments", "fig12"},
-		{"/v1/runs", "[]"},
-		{"/metrics", "nocstar_server_http_requests"},
-	} {
-		resp, err := http.Get(ts.URL + tc.path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s: status %d", tc.path, resp.StatusCode)
-		}
-		if !strings.Contains(string(body), tc.want) {
-			t.Fatalf("GET %s: body missing %q:\n%s", tc.path, tc.want, body)
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := ctxT(t)
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %+v, %v", h, err)
+	}
+	if h.Node == "" || h.Members != 1 {
+		t.Fatalf("health node identity missing: %+v", h)
+	}
+
+	wls, err := c.Workloads(ctx)
+	if err != nil || len(wls) == 0 {
+		t.Fatalf("workloads: %d, %v", len(wls), err)
+	}
+	seen := false
+	for _, w := range wls {
+		if w.Name == "canneal" {
+			seen = true
 		}
 	}
-	// Unknown run is a 404.
-	resp, err := http.Get(ts.URL + "/v1/runs/run-999999-nope")
+	if !seen {
+		t.Fatal("workload suite missing canneal")
+	}
+
+	exps, err := c.Experiments(ctx)
+	if err != nil || len(exps) == 0 {
+		t.Fatalf("experiments: %d, %v", len(exps), err)
+	}
+
+	runs, err := c.ListRuns(ctx)
+	if err != nil || len(runs) != 0 {
+		t.Fatalf("fresh server lists %d runs, %v", len(runs), err)
+	}
+
+	mets, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown run: status %d, want 404", resp.StatusCode)
+	if _, ok := mets["nocstar_server_http_requests"]; !ok {
+		t.Fatalf("metrics missing request counter: %d samples", len(mets))
+	}
+
+	// Unknown run is a typed not-found.
+	if _, err := c.GetRun(ctx, "run-999999-nope"); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("unknown run error: %v, want ErrNotFound", err)
+	}
+}
+
+// TestClusterEndpointSingleNode: /v1/cluster answers on an unclustered
+// node with a synthesized one-member view and a self-owned preview, so
+// the endpoint's shape is uniform for tooling.
+func TestClusterEndpointSingleNode(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := ctxT(t)
+	info, err := c.Cluster(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.View.Nodes) != 1 || info.View.Nodes[0].State != "alive" {
+		t.Fatalf("single-node view: %+v", info.View)
+	}
+	if info.Ownership != nil {
+		t.Fatal("unrequested ownership preview present")
+	}
+
+	withOwner, err := c.Cluster(ctx, "deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withOwner.Ownership == nil || withOwner.Ownership.Owner.ID != info.View.Self {
+		t.Fatalf("ownership preview: %+v", withOwner.Ownership)
+	}
+
+	// A malformed hash is a typed bad request.
+	if _, err := c.Cluster(ctx, "NOT-HEX"); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("bad hash error: %v, want ErrBadRequest", err)
 	}
 }
 
@@ -461,36 +467,29 @@ func TestReadEndpoints(t *testing.T) {
 // fresh execution instead of being deduped onto the dead job and told
 // "canceled" for a run it never canceled.
 func TestCancelQueuedThenResubmit(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	_, c := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	ctx := ctxT(t)
 
 	// Occupy the single worker so the next submission stays queued.
-	code, blocker := postRun(t, ts.URL, endlessConfig(20))
-	if code != http.StatusAccepted {
-		t.Fatalf("blocker submit: status %d", code)
-	}
-	time.Sleep(50 * time.Millisecond)
-
-	victim := smallConfig(21)
-	code, queued := postRun(t, ts.URL, victim)
-	if code != http.StatusAccepted {
-		t.Fatalf("victim submit: status %d", code)
-	}
-	// Cancel it while queued.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+queued.ID, nil)
-	resp, err := http.DefaultClient.Do(req)
+	blocker, err := c.SubmitRunJSON(ctx, []byte(endlessConfig(20)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel: status %d", resp.StatusCode)
+	time.Sleep(50 * time.Millisecond)
+
+	victim := []byte(smallConfig(21))
+	queued, err := c.SubmitRunJSON(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
 	}
+	// Cancel it while queued.
+	mustCancel(t, c, queued.ID)
 
 	// Resubmit the identical config: must be a fresh job, not a dedup
 	// onto the canceled one.
-	code, fresh := postRun(t, ts.URL, victim)
-	if code != http.StatusAccepted {
-		t.Fatalf("resubmit: status %d", code)
+	fresh, err := c.SubmitRunJSON(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if fresh.Deduped {
 		t.Fatal("resubmission was deduped onto a canceled job")
@@ -500,12 +499,12 @@ func TestCancelQueuedThenResubmit(t *testing.T) {
 	}
 
 	// Free the worker; the fresh job must execute to done for real.
-	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+blocker.ID, nil)
-	if resp, err := http.DefaultClient.Do(req); err == nil {
-		resp.Body.Close()
+	mustCancel(t, c, blocker.ID)
+	final, err := c.Wait(ctx, fresh.ID)
+	if err != nil {
+		t.Fatal(err)
 	}
-	final := pollUntilTerminal(t, ts.URL, fresh.ID)
-	if final.State != string(stateDone) {
+	if final.State != client.StateDone {
 		t.Fatalf("resubmitted run ended %s: %s", final.State, final.Error)
 	}
 	if len(final.Result) == 0 {
@@ -519,22 +518,23 @@ func TestCancelQueuedThenResubmit(t *testing.T) {
 // history cap.
 func TestTerminalJobHistoryBounded(t *testing.T) {
 	const histCap = 8
-	srv, ts := newTestServer(t, Options{Workers: 1, JobHistory: histCap})
-	body := smallConfig(30)
+	srv, c := newTestServer(t, Options{Workers: 1, JobHistory: histCap})
+	ctx := ctxT(t)
+	body := []byte(smallConfig(30))
 
-	code, st := postRun(t, ts.URL, body)
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
+	st, err := c.SubmitRunJSON(ctx, body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if final := pollUntilTerminal(t, ts.URL, st.ID); final.State != string(stateDone) {
-		t.Fatalf("run ended %s: %s", final.State, final.Error)
+	if final, err := c.Wait(ctx, st.ID); err != nil || final.State != client.StateDone {
+		t.Fatalf("run: %v %+v", err, final)
 	}
 
 	// 10x the cap in cache-hit submissions.
 	for i := 0; i < 10*histCap; i++ {
-		code, hit := postRun(t, ts.URL, body)
-		if code != http.StatusOK || !hit.Cached {
-			t.Fatalf("submission %d: status %d cached=%v", i, code, hit.Cached)
+		hit, err := c.SubmitRunJSON(ctx, body)
+		if err != nil || !hit.Cached {
+			t.Fatalf("submission %d: %v cached=%v", i, err, hit.Cached)
 		}
 	}
 
@@ -559,37 +559,29 @@ func TestHealthDraining(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := ctxT(t)
 
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthy node: status %d, want 200", resp.StatusCode)
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("healthy node: %+v, %v", h, err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := srv.Shutdown(sctx); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	h, err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("draining node passed its health check")
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining node: status %d, want 503", resp.StatusCode)
-	}
-	if !strings.Contains(string(body), `"status":"draining"`) {
-		t.Fatalf("draining body: %s", body)
+	if h.Status != "draining" {
+		t.Fatalf("draining body: %+v", h)
 	}
 }
 
 // TestShutdownDrains checks graceful shutdown finishes in-flight work
-// and then refuses new submissions with 503.
+// and then refuses new submissions with the typed draining error.
 func TestShutdownDrains(t *testing.T) {
 	srv, err := New(Options{Workers: 1})
 	if err != nil {
@@ -597,26 +589,30 @@ func TestShutdownDrains(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := ctxT(t)
 
-	code, st := postRun(t, ts.URL, smallConfig(7))
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
+	st, err := c.SubmitRunJSON(ctx, []byte(smallConfig(7)))
+	if err != nil {
+		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := srv.Shutdown(sctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 
 	// The in-flight run completed rather than being killed.
-	final := pollUntilTerminal(t, ts.URL, st.ID)
-	if final.State != string(stateDone) {
+	final, err := c.GetRun(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateDone {
 		t.Fatalf("drained run ended %s: %s", final.State, final.Error)
 	}
 
 	// New work is refused.
-	code, _ = postRun(t, ts.URL, smallConfig(8))
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("post-shutdown submit: status %d, want 503", code)
+	if _, err := c.SubmitRunJSON(ctx, []byte(smallConfig(8))); !errors.Is(err, client.ErrDraining) {
+		t.Fatalf("post-shutdown submit: %v, want ErrDraining", err)
 	}
 }

@@ -16,12 +16,17 @@ import (
 // config fails the whole batch with a 400 naming its index, before a
 // byte of the stream is committed), then fans the batch through the
 // same acquire path as single submissions: store hits are served
-// instantly, duplicates singleflight, peer-owned hashes proxy, the rest
-// flow through the bounded queue (a full queue backpressures the sweep
-// instead of rejecting it). Results stream back as SSE "result" events
-// in completion order, each embedding the raw marshaled Result —
-// byte-identical to a direct system.Run — and a terminal "summary"
-// event closes the stream.
+// instantly, duplicates singleflight, peer-owned hashes proxy (with
+// legs spilling from saturated owners to their HRW successors), the
+// rest flow through the bounded queue (a full queue backpressures the
+// sweep instead of rejecting it). In a cluster the sweep is
+// admission-controlled first: the queue depths gossiped in heartbeats
+// say how much work the cluster already holds, and a sweep that would
+// push the aggregate past the budget is rejected with 429 and
+// Retry-After before any leg is committed. Results stream back as SSE
+// "result" events in completion order, each embedding the raw
+// marshaled Result — byte-identical to a direct system.Run — and a
+// terminal "summary" event closes the stream.
 
 // maxSweepConfigs bounds one sweep request; larger design spaces are
 // split by the client.
@@ -51,29 +56,58 @@ type sweepSummary struct {
 	Unsubmitted int `json:"unsubmitted,omitempty"`
 }
 
+// admitSweep applies the cluster-wide sweep budget: the gossiped queue
+// depths plus this sweep's size must fit Options.ClusterQueueBudget
+// (default: the live members' summed queue capacities). Store hits
+// consume no queue slot, but counting them keeps admission cheap and
+// conservative. Forwarded sweeps are exempt — the first-hop node
+// already admitted them.
+func (s *Server) admitSweep(n int, fwd forwardInfo) bool {
+	if s.clu == nil || fwd.forwarded {
+		return true
+	}
+	depth, capSum := s.clu.Load()
+	budget := s.opts.ClusterQueueBudget
+	if budget <= 0 {
+		budget = capSum
+	}
+	if budget <= 0 {
+		return true
+	}
+	return depth+n <= budget
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("reading body: %v", err)})
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
 	var raws []json.RawMessage
 	if err := json.Unmarshal(body, &raws); err != nil {
-		writeJSON(w, http.StatusBadRequest, submitError{Error: "want a JSON array of config objects"})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "want a JSON array of config objects")
 		return
 	}
 	if len(raws) == 0 {
-		writeJSON(w, http.StatusBadRequest, submitError{Error: "empty sweep"})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty sweep")
 		return
 	}
 	if len(raws) > maxSweepConfigs {
-		writeJSON(w, http.StatusBadRequest, submitError{
-			Error: fmt.Sprintf("sweep of %d configs exceeds the %d-config limit", len(raws), maxSweepConfigs)})
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("sweep of %d configs exceeds the %d-config limit", len(raws), maxSweepConfigs))
 		return
 	}
 	timeout, err := s.parseTimeout(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, submitError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	fwd := parseForward(r)
+	if !s.admitSweep(len(raws), fwd) {
+		s.met.sweepBounced.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, codeQueueFull,
+			fmt.Sprintf("sweep of %d configs exceeds the cluster queue budget; retry later", len(raws)))
 		return
 	}
 	// Validate the whole batch before committing the response status:
@@ -84,32 +118,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		cfg, err := system.UnmarshalConfig(raw)
 		if err != nil {
 			s.met.invalid.Inc()
-			writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("config[%d]: %v", i, err)})
+			writeError(w, http.StatusBadRequest, codeInvalidConfig, fmt.Sprintf("config[%d]: %v", i, err))
 			return
 		}
 		if err := cfg.Validate(); err != nil {
 			s.met.invalid.Inc()
-			resp := submitError{Error: fmt.Sprintf("config[%d]: invalid", i)}
+			msg := fmt.Sprintf("config[%d]: invalid", i)
+			var fields []system.FieldError
 			var ve *system.ValidationError
 			if errors.As(err, &ve) {
-				resp.Fields = ve.Fields
+				fields = ve.Fields
 			} else {
-				resp.Error = fmt.Sprintf("config[%d]: %v", i, err)
+				msg = fmt.Sprintf("config[%d]: %v", i, err)
 			}
-			writeJSON(w, http.StatusBadRequest, resp)
+			writeErrorFields(w, http.StatusBadRequest, codeInvalidConfig, msg, fields)
 			return
 		}
 		hash, err := cfg.CanonicalHash()
 		if err != nil {
 			s.met.invalid.Inc()
-			writeJSON(w, http.StatusBadRequest, submitError{Error: fmt.Sprintf("config[%d]: %v", i, err)})
+			writeError(w, http.StatusBadRequest, codeInvalidConfig, fmt.Sprintf("config[%d]: %v", i, err))
 			return
 		}
 		cfgs[i], hashes[i] = cfg, hash
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, submitError{Error: "streaming unsupported"})
+		writeError(w, http.StatusInternalServerError, codeInternal, "streaming unsupported")
 		return
 	}
 
@@ -119,18 +154,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	forwarded := isForwarded(r)
 	s.met.sweepConfigs.Add(uint64(len(cfgs)))
 
-	// Acquire every config. A full queue backpressures (retry until a
-	// slot frees) rather than failing the sweep; draining or a gone
-	// client abandons the remainder.
+	// Acquire every config. Legs may spill from a saturated owner to
+	// its successors (first-hand sweeps only; a forwarded leg stays
+	// put). A full local queue backpressures (retry until a slot frees)
+	// rather than failing the sweep; draining or a gone client abandons
+	// the remainder.
 	jobs := make([]*job, len(cfgs))
 	summary := sweepSummary{Total: len(cfgs)}
 acquire:
 	for i := range cfgs {
 		for {
-			j, how, err := s.acquire(cfgs[i], hashes[i], timeout, forwarded)
+			j, how, err := s.acquire(cfgs[i], hashes[i], timeout, fwd, !fwd.forwarded)
 			switch {
 			case err == nil:
 				jobs[i] = j
